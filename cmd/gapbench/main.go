@@ -1,0 +1,228 @@
+// Command gapbench runs the GAP benchmark evaluation and regenerates the
+// paper's tables.
+//
+// Usage examples:
+//
+//	gapbench -table I                      # graph properties (Table I)
+//	gapbench -table II                     # framework attributes
+//	gapbench -table III                    # algorithm choices
+//	gapbench -table IV -scale 12 -trials 3 # fastest times per cell
+//	gapbench -table V  -scale 12           # speedup heat map vs GAP
+//	gapbench -table all -csv results.csv   # everything + CSV export
+//	gapbench -graphs Road,Kron -kernels BFS,SSSP -frameworks GAP,Galois
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gapbench/internal/core"
+	"gapbench/internal/generate"
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+	"gapbench/internal/report"
+)
+
+func main() {
+	var (
+		tableFlag  = flag.String("table", "all", "table to produce: I, II, III, IV, V, or all")
+		scale      = flag.Int("scale", 12, "base graph scale (log2 vertices); Road/Kron/Urand run 1-2 scales larger, per Table I proportions")
+		trials     = flag.Int("trials", 3, "timed trials per cell")
+		graphsFlag = flag.String("graphs", "", "comma-separated graph subset (default: all five)")
+		kernsFlag  = flag.String("kernels", "", "comma-separated kernel subset (default: all six)")
+		fwFlag     = flag.String("frameworks", "", "comma-separated framework subset (default: all six)")
+		modeFlag   = flag.String("mode", "both", "baseline, optimized, or both")
+		csvPath    = flag.String("csv", "", "write complete results CSV to this path")
+		mdPath     = flag.String("md", "", "write Tables IV+V as Markdown to this path")
+		graphDir   = flag.String("graphdir", "", "cache directory for serialized graphs (generate once, reload after)")
+		noVerify   = flag.Bool("noverify", false, "skip oracle verification of results")
+		quiet      = flag.Bool("q", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	if err := run(*tableFlag, *scale, *trials, *graphsFlag, *kernsFlag, *fwFlag, *modeFlag, *csvPath, *mdPath, *graphDir, !*noVerify, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "gapbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeSel, csvPath, mdPath, graphDir string, doVerify, quiet bool) error {
+	frameworks := core.Frameworks()
+	if fwCSV != "" {
+		var subset []kernel.Framework
+		for _, name := range splitCSV(fwCSV) {
+			f := core.FrameworkByName(name)
+			if f == nil {
+				return fmt.Errorf("unknown framework %q (have %v)", name, core.FrameworkNames())
+			}
+			subset = append(subset, f)
+		}
+		frameworks = subset
+	}
+
+	// Static tables need no benchmark runs.
+	wantTable := func(name string) bool { return tableSel == "all" || strings.EqualFold(tableSel, name) }
+	if wantTable("II") {
+		fmt.Println(report.TableII(frameworks))
+	}
+	if wantTable("III") {
+		fmt.Println(report.TableIII(frameworks))
+	}
+
+	specs := core.DefaultSuite(scale)
+	if graphsCSV != "" {
+		var subset []core.GraphSpec
+		for _, name := range splitCSV(graphsCSV) {
+			found := false
+			for _, s := range specs {
+				if strings.EqualFold(s.Name, name) {
+					subset = append(subset, s)
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown graph %q (have %v)", name, generate.Names)
+			}
+		}
+		specs = subset
+	}
+
+	needGraphs := wantTable("I") || wantTable("IV") || wantTable("V") || csvPath != "" || mdPath != ""
+	if !needGraphs {
+		return nil
+	}
+
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "generating %d graphs at base scale %d...\n", len(specs), scale)
+	}
+	var inputs []*core.Input
+	var stats []graph.Stats
+	var names []string
+	for _, spec := range specs {
+		in, err := loadCached(spec, graphDir)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, in)
+		names = append(names, spec.Name)
+		if wantTable("I") {
+			stats = append(stats, graph.ComputeStats(in.Graph))
+		}
+	}
+	if wantTable("I") {
+		fmt.Println(report.TableI(names, stats))
+	}
+
+	if !(wantTable("IV") || wantTable("V") || csvPath != "" || mdPath != "") {
+		return nil
+	}
+
+	var kernels []core.Kernel
+	if kernelsCSV != "" {
+		for _, name := range splitCSV(kernelsCSV) {
+			k := core.Kernel(strings.ToUpper(name))
+			ok := false
+			for _, known := range core.Kernels {
+				if k == known {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("unknown kernel %q (have %v)", name, core.Kernels)
+			}
+			kernels = append(kernels, k)
+		}
+	}
+
+	var modes []kernel.Mode
+	switch strings.ToLower(modeSel) {
+	case "baseline":
+		modes = []kernel.Mode{kernel.Baseline}
+	case "optimized":
+		modes = []kernel.Mode{kernel.Optimized}
+	case "both":
+		modes = []kernel.Mode{kernel.Baseline, kernel.Optimized}
+	default:
+		return fmt.Errorf("unknown mode %q (want baseline, optimized, or both)", modeSel)
+	}
+
+	runner := core.NewRunner()
+	runner.Trials = trials
+	runner.Verify = doVerify
+	core.PrepareViews(frameworks, inputs) // untimed load-phase conversions
+
+	progress := func(r core.Result) {
+		if quiet {
+			return
+		}
+		status := "ok"
+		if !r.Verified {
+			status = "FAILED VERIFY: " + r.Err
+		}
+		fmt.Fprintf(os.Stderr, "%-9s %-10s %-4s %-7s best=%.4fs avg=%.4fs %s\n",
+			r.Mode, r.Framework, r.Kernel, r.Graph, r.Seconds, r.AvgSeconds, status)
+	}
+	results := runner.RunSuite(frameworks, inputs, modes, kernels, progress)
+
+	if wantTable("IV") {
+		fmt.Println(report.TableIV(results, names))
+	}
+	if wantTable("V") {
+		fmt.Println(report.TableV(results, names))
+	}
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(report.CSV(results)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+	}
+	if mdPath != "" {
+		md := report.MarkdownTableIV(results, names) + report.MarkdownTableV(results, names)
+		if err := os.WriteFile(mdPath, []byte(md), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", mdPath)
+	}
+	for _, r := range results {
+		if !r.Verified {
+			return fmt.Errorf("verification failures occurred (first: %s)", r.Err)
+		}
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// loadCached loads a serialized graph from dir when present, generating and
+// caching it otherwise; with no dir it always generates.
+func loadCached(spec core.GraphSpec, dir string) (*core.Input, error) {
+	if dir == "" {
+		return core.LoadInput(spec)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-s%d-seed%d.gapb", strings.ToLower(spec.Name), spec.Scale, spec.Seed))
+	if g, err := graph.Load(path); err == nil {
+		return core.PrepareInput(spec, g), nil
+	}
+	in, err := core.LoadInput(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Graph.Save(path); err != nil {
+		return nil, fmt.Errorf("caching %s: %w", path, err)
+	}
+	return in, nil
+}

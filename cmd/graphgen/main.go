@@ -1,0 +1,65 @@
+// Command graphgen generates the benchmark graphs and serializes them to
+// disk, the analogue of the GAP suite's converter producing .sg files so
+// benchmark runs never pay generation time.
+//
+//	graphgen -out ./graphs -scale 12          # all five benchmark graphs
+//	graphgen -out ./graphs -graph Road -scale 16 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gapbench/internal/core"
+	"gapbench/internal/generate"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", ".", "output directory")
+		scale    = flag.Int("scale", 12, "base scale (log2 approximate vertex count)")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		oneGraph = flag.String("graph", "", "generate only this graph (default: the full five-graph suite)")
+	)
+	flag.Parse()
+
+	if err := run(*out, *scale, *seed, *oneGraph); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale int, seed uint64, oneGraph string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	specs := core.DefaultSuite(scale)
+	if oneGraph != "" {
+		var filtered []core.GraphSpec
+		for _, s := range specs {
+			if strings.EqualFold(s.Name, oneGraph) {
+				s.Seed = seed
+				filtered = append(filtered, s)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("unknown graph %q (have %v)", oneGraph, generate.Names)
+		}
+		specs = filtered
+	}
+	for _, spec := range specs {
+		g, err := generate.ByName(spec.Name, spec.Scale, spec.Seed)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, fmt.Sprintf("%s-s%d.gapb", strings.ToLower(spec.Name), spec.Scale))
+		if err := g.Save(path); err != nil {
+			return err
+		}
+		fmt.Printf("%-8s n=%-9d m=%-10d -> %s\n", spec.Name, g.NumNodes(), g.NumEdgesUndirected(), path)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command workload runs the workload characterization that motivated the
+// GAP suite's design (§II): instrumented BFS/SSSP/PR over the benchmark
+// graphs, reporting rounds, edge traffic, frontier profiles, and
+// direction-switch behaviour.
+//
+//	workload -scale 12
+//	workload -scale 14 -graphs Road,Kron -kernels BFS,SSSP
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gapbench/internal/charact"
+	"gapbench/internal/core"
+	"gapbench/internal/generate"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 12, "base graph scale (log2 vertices)")
+		graphsFlag = flag.String("graphs", "", "comma-separated graph subset (default all five)")
+		kernsFlag  = flag.String("kernels", "BFS,SSSP,PR", "kernels to characterize")
+	)
+	flag.Parse()
+	if err := run(*scale, *graphsFlag, *kernsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale int, graphsCSV, kernelsCSV string) error {
+	wantGraph := func(name string) bool {
+		if graphsCSV == "" {
+			return true
+		}
+		for _, g := range strings.Split(graphsCSV, ",") {
+			if strings.EqualFold(strings.TrimSpace(g), name) {
+				return true
+			}
+		}
+		return false
+	}
+	wantKernel := map[string]bool{}
+	for _, k := range strings.Split(kernelsCSV, ",") {
+		wantKernel[strings.ToUpper(strings.TrimSpace(k))] = true
+	}
+
+	var profiles []charact.Profile
+	for _, spec := range core.DefaultSuite(scale) {
+		if !wantGraph(spec.Name) {
+			continue
+		}
+		g, err := generate.ByName(spec.Name, spec.Scale, spec.Seed)
+		if err != nil {
+			return err
+		}
+		src := core.PickSources(g, 1, spec.SourceSeed)[0]
+		if wantKernel["BFS"] {
+			p := charact.BFS(g, src)
+			p.Graph = spec.Name
+			profiles = append(profiles, p)
+		}
+		if wantKernel["SSSP"] {
+			p := charact.SSSP(g, src, spec.Delta)
+			p.Graph = spec.Name
+			profiles = append(profiles, p)
+		}
+		if wantKernel["PR"] {
+			p := charact.PR(g)
+			p.Graph = spec.Name
+			profiles = append(profiles, p)
+		}
+	}
+	fmt.Print(charact.Report(profiles))
+	return nil
+}

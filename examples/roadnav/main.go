@@ -1,0 +1,81 @@
+// Roadnav: single-source shortest paths on the synthetic road network — the
+// workload the paper's §VI singles out as hardest for bulk-synchronous
+// frameworks. The example sweeps the delta-stepping bucket width (the one
+// per-graph knob the GAP rules allow everywhere) and compares the
+// bucket-fusion and asynchronous strategies on a high-diameter graph.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gapbench"
+)
+
+func main() {
+	g, err := gapbench.GenerateGraph("Road", 14, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := gapbench.ComputeStats(g)
+	fmt.Printf("road network: %d intersections, %d segments, diameter ~%d\n",
+		stats.NumNodes, stats.NumEdges, stats.ApproxDiameter)
+
+	src := gapbench.NodeID(0)
+	gap := gapbench.FrameworkByName("GAP")
+
+	// Delta sensitivity: too small means thousands of rounds, too large
+	// degenerates toward Bellman-Ford re-relaxations.
+	fmt.Println("\ndelta sweep (GAP reference, bucket fusion on):")
+	var dist []gapbench.Dist
+	for _, delta := range []gapbench.Dist{2, 16, 64, 256, 4096} {
+		start := time.Now()
+		dist = gap.SSSP(g, src, gapbench.Options{Delta: delta})
+		elapsed := time.Since(start)
+		if err := gapbench.VerifySSSP(g, src, dist); err != nil {
+			log.Fatalf("delta=%d: %v", delta, err)
+		}
+		fmt.Printf("  delta=%-5d %8.3fms\n", delta, float64(elapsed.Microseconds())/1000)
+	}
+
+	// The same routing query through every framework: identical distances,
+	// very different machinery underneath (§V-B).
+	fmt.Println("\nframework comparison (delta=64):")
+	for _, fw := range gapbench.Frameworks() {
+		start := time.Now()
+		d := fw.SSSP(g, src, gapbench.Options{Delta: 64})
+		elapsed := time.Since(start)
+		if err := gapbench.VerifySSSP(g, src, d); err != nil {
+			log.Fatalf("%s: %v", fw.Name(), err)
+		}
+		fmt.Printf("  %-12s %8.3fms\n", fw.Name(), float64(elapsed.Microseconds())/1000)
+	}
+
+	// A routing answer, reconstructed from the distance field.
+	dest := gapbench.NodeID(g.NumNodes() - 1)
+	fmt.Printf("\nroute 0 -> %d: total weight %d over %d hops\n",
+		dest, dist[dest], countHops(g, dist, src, dest))
+}
+
+// countHops walks the shortest-path tree backward from dest by always
+// stepping to an in-neighbor that lies on a shortest path.
+func countHops(g *gapbench.Graph, dist []gapbench.Dist, src, dest gapbench.NodeID) int {
+	hops := 0
+	for v := dest; v != src; {
+		var next gapbench.NodeID = -1
+		inWeights := g.InWeights(v)
+		for i, u := range g.InNeighbors(v) {
+			if dist[u]+inWeights[i] == dist[v] {
+				next = u
+				break
+			}
+		}
+		if next < 0 {
+			return -1 // unreachable
+		}
+		v = next
+		hops++
+	}
+	return hops
+}

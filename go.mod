@@ -1,0 +1,3 @@
+module gapbench
+
+go 1.24

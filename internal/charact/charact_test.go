@@ -1,0 +1,129 @@
+package charact_test
+
+import (
+	"strings"
+	"testing"
+
+	"gapbench/internal/charact"
+	"gapbench/internal/generate"
+	"gapbench/internal/graph"
+	"gapbench/internal/verify"
+)
+
+func TestBFSProfileRoadVsKron(t *testing.T) {
+	road, err := generate.Road(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kron, err := generate.Kron(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := charact.BFS(road, 0)
+	pk := charact.BFS(kron, pickSource(kron))
+
+	// The §VI topology story in numbers: Road needs orders of magnitude
+	// more rounds than the low-diameter Kron graph.
+	if pr.Rounds < 10*pk.Rounds {
+		t.Fatalf("road rounds %d not >> kron rounds %d", pr.Rounds, pk.Rounds)
+	}
+	// Kron's BFS must actually use the pull direction in its dense middle;
+	// Road's tiny frontiers must stay push-only.
+	if pk.PullRounds == 0 {
+		t.Error("kron BFS never switched to pull")
+	}
+	if pr.PullRounds*5 > pr.Rounds {
+		t.Errorf("road BFS pulled %d of %d rounds; its thin frontiers should rarely justify it", pr.PullRounds, pr.Rounds)
+	}
+	if pr.PushRounds+pr.PullRounds != pr.Rounds {
+		t.Error("push+pull rounds do not sum to total")
+	}
+}
+
+func TestBFSProfileCountsAreConsistent(t *testing.T) {
+	g, err := generate.Web(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := pickSource(g)
+	p := charact.BFS(g, src)
+	if p.Rounds != len(p.FrontierSizes) {
+		t.Fatalf("rounds %d != frontier records %d", p.Rounds, len(p.FrontierSizes))
+	}
+	// Total frontier vertices equals reachable count (every vertex enters
+	// the frontier exactly once).
+	var total int64
+	for _, f := range p.FrontierSizes {
+		total += f
+	}
+	reachable := int64(0)
+	for _, d := range verify.BFSDepths(g, src) {
+		if d >= 0 {
+			reachable++
+		}
+	}
+	if total != reachable {
+		t.Fatalf("frontier total %d != reachable %d", total, reachable)
+	}
+	if p.MaxFrontier() <= 0 || p.EdgesPerRound() <= 0 {
+		t.Fatal("degenerate profile statistics")
+	}
+}
+
+func TestSSSPProfileDeltaControlsRounds(t *testing.T) {
+	g, err := generate.Road(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := charact.SSSP(g, 0, 4)
+	large := charact.SSSP(g, 0, 1024)
+	// Wider buckets mean fewer synchronized passes — the knob GAP exposes.
+	if large.Rounds >= small.Rounds {
+		t.Fatalf("delta=1024 rounds %d not below delta=4 rounds %d", large.Rounds, small.Rounds)
+	}
+	// But wider buckets re-relax more edges.
+	if large.EdgesExamined <= small.EdgesExamined/2 {
+		t.Fatalf("suspicious edge counts: %d vs %d", large.EdgesExamined, small.EdgesExamined)
+	}
+}
+
+func TestPRProfileConverges(t *testing.T) {
+	g, err := generate.Urand(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := charact.PR(g)
+	if p.Rounds < 2 || p.Rounds >= 100 {
+		t.Fatalf("PR rounds = %d, expected a converged iteration count", p.Rounds)
+	}
+	if p.EdgesExamined != int64(p.Rounds)*g.NumEdges() {
+		t.Fatalf("PR edges %d != rounds x edges %d", p.EdgesExamined, int64(p.Rounds)*g.NumEdges())
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	g, err := generate.Kron(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := charact.BFS(g, pickSource(g))
+	p.Graph = "Kron"
+	out := charact.Report([]charact.Profile{p})
+	for _, want := range []string{"Kron", "BFS", "frontier profile"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if charact.Report(nil) == "" {
+		t.Fatal("empty report should still render a header")
+	}
+}
+
+func pickSource(g *graph.Graph) graph.NodeID {
+	for v := int32(0); v < g.NumNodes(); v++ {
+		if g.OutDegree(v) > 0 {
+			return v
+		}
+	}
+	return 0
+}

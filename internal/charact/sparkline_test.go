@@ -1,0 +1,45 @@
+package charact
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "(empty)" {
+		t.Fatalf("empty series = %q", got)
+	}
+	// Monotone series compresses to a non-decreasing ramp.
+	series := []int64{1, 2, 4, 8, 16, 32, 64, 128}
+	out := []rune(sparkline(series, 8))
+	if len(out) != 8 {
+		t.Fatalf("width = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("ramp not monotone: %q", string(out))
+		}
+	}
+	// The peak bucket uses the tallest block.
+	if out[len(out)-1] != '█' {
+		t.Fatalf("max bucket = %q", out[len(out)-1])
+	}
+	// Series shorter than the width keeps its own length.
+	if got := sparkline([]int64{5, 1}, 60); len([]rune(got)) != 2 {
+		t.Fatalf("short series rendered %q", got)
+	}
+	// Compression buckets take the max of their window.
+	long := make([]int64, 120)
+	long[60] = 100 // single spike
+	s := sparkline(long, 60)
+	if !strings.ContainsRune(s, '█') {
+		t.Fatalf("spike lost in compression: %q", s)
+	}
+}
+
+func TestProfileAccessorsEmpty(t *testing.T) {
+	var p Profile
+	if p.MaxFrontier() != 0 || p.EdgesPerRound() != 0 {
+		t.Fatal("empty profile accessors nonzero")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"gapbench/internal/galois"
+	"gapbench/internal/gap"
+	"gapbench/internal/gkc"
+	"gapbench/internal/graphit"
+	"gapbench/internal/kernel"
+	"gapbench/internal/lagraph"
+	"gapbench/internal/nwgraph"
+)
+
+// ReferenceName is the name of the framework every Table V ratio is
+// measured against.
+const ReferenceName = "GAP"
+
+// Frameworks returns fresh instances of all six evaluated frameworks in the
+// paper's table order: the GAP reference first, then the five frameworks of
+// Table II.
+func Frameworks() []kernel.Framework {
+	return []kernel.Framework{
+		gap.New(),
+		lagraph.New(),
+		galois.New(),
+		graphit.New(),
+		gkc.New(),
+		nwgraph.New(),
+	}
+}
+
+// FrameworkNames returns the framework names in registry order.
+func FrameworkNames() []string {
+	fs := Frameworks()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name()
+	}
+	return names
+}
+
+// FrameworkByName returns a fresh instance of the named framework, or nil.
+func FrameworkByName(name string) kernel.Framework {
+	for _, f := range Frameworks() {
+		if f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package galois
+
+import (
+	"sync/atomic"
+
+	"gapbench/internal/graph"
+	"gapbench/internal/par"
+)
+
+// asyncBFS computes BFS parents by asynchronous distance relaxation over the
+// ordered executor: the operator CAS-updates a packed (depth, parent) word
+// and re-schedules improved vertices at their new depth. There are no
+// rounds, so on a high-diameter graph like Road thousands of barrier waits
+// disappear — the effect behind Galois' 3.6x Baseline win there (§V-A).
+func asyncBFS(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
+	n := int(g.NumNodes())
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if n == 0 {
+		return parent
+	}
+	// state[v] packs depth (high 32 bits) and parent (low 32 bits) so both
+	// update in one CAS and can never disagree.
+	state := make([]uint64, n)
+	unvisited := pack(int32(1<<30), -1)
+	for i := range state {
+		state[i] = unvisited
+	}
+	state[src] = pack(0, src)
+
+	ForEachOrdered(workers, []graph.NodeID{src}, 0, func(ctx *PCtx, u graph.NodeID) {
+		du := depthOf(atomic.LoadUint64(&state[u]))
+		nd := du + 1
+		for _, v := range g.OutNeighbors(u) {
+			for {
+				old := atomic.LoadUint64(&state[v])
+				if depthOf(old) <= nd {
+					break
+				}
+				if atomic.CompareAndSwapUint64(&state[v], old, pack(nd, u)) {
+					ctx.Push(v, int(nd))
+					break
+				}
+			}
+		}
+	})
+
+	for v := 0; v < n; v++ {
+		if s := state[v]; depthOf(s) < 1<<30 {
+			parent[v] = parentOf(s)
+		}
+	}
+	return parent
+}
+
+func pack(depth int32, parent graph.NodeID) uint64 {
+	return uint64(uint32(depth))<<32 | uint64(uint32(parent))
+}
+func depthOf(s uint64) int32         { return int32(s >> 32) }
+func parentOf(s uint64) graph.NodeID { return graph.NodeID(uint32(s)) }
+
+// syncBFS is the bulk-synchronous direction-optimizing BFS, with the
+// frontier handled through the chunked-bag machinery (the generic-library
+// overhead §V-A mentions: "the overheads of a generic library such as Galois
+// are significant" when runtimes are small).
+func syncBFS(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
+	n := int64(g.NumNodes())
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if n == 0 {
+		return parent
+	}
+	parent[src] = src
+
+	frontier := []graph.NodeID{src}
+	front := graph.NewBitmap(n)
+	next := graph.NewBitmap(n)
+	edgesToCheck := g.NumEdges()
+	scout := g.OutDegree(src)
+	const alpha, beta = 15, 18
+
+	for len(frontier) > 0 {
+		if scout > edgesToCheck/alpha {
+			front.Reset()
+			for _, u := range frontier {
+				front.Set(int64(u))
+			}
+			awake := int64(len(frontier))
+			for {
+				prev := awake
+				next.Reset()
+				awake = par.ReduceInt64(int(n), workers, func(lo, hi int) int64 {
+					var count int64
+					for u := lo; u < hi; u++ {
+						if parent[u] >= 0 {
+							continue
+						}
+						for _, v := range g.InNeighbors(graph.NodeID(u)) {
+							if front.Get(int64(v)) {
+								parent[u] = v
+								next.SetAtomic(int64(u))
+								count++
+								break
+							}
+						}
+					}
+					return count
+				})
+				front.Swap(next)
+				if awake == 0 || !(awake >= prev || awake > n/beta) {
+					break
+				}
+			}
+			frontier = frontier[:0]
+			for u := int64(0); u < n; u++ {
+				if front.Get(u) {
+					frontier = append(frontier, graph.NodeID(u))
+				}
+			}
+			scout = 1
+		} else {
+			edgesToCheck -= scout
+			var newScout atomic.Int64
+			collected := &bag{}
+			cur := frontier
+			par.ForDynamic(len(cur), chunkSize, workers, func(lo, hi int) {
+				local := chunkPool.Get().(*chunk)
+				local.n = 0
+				var sc int64
+				for i := lo; i < hi; i++ {
+					u := cur[i]
+					for _, v := range g.OutNeighbors(u) {
+						if atomic.LoadInt32(&parent[v]) < 0 &&
+							atomic.CompareAndSwapInt32(&parent[v], -1, u) {
+							if local.n == chunkSize {
+								collected.put(local)
+								local = chunkPool.Get().(*chunk)
+								local.n = 0
+							}
+							local.items[local.n] = v
+							local.n++
+							sc += g.OutDegree(v)
+						}
+					}
+				}
+				collected.put(local)
+				newScout.Add(sc)
+			})
+			frontier = drainBag(collected, frontier[:0])
+			scout = newScout.Load()
+		}
+	}
+	return parent
+}
+
+// drainBag empties a bag into dst, recycling the chunks.
+func drainBag(b *bag, dst []graph.NodeID) []graph.NodeID {
+	for {
+		c := b.get()
+		if c == nil {
+			return dst
+		}
+		dst = append(dst, c.items[:c.n]...)
+		c.n = 0
+		chunkPool.Put(c)
+	}
+}
+
+// AsyncBFS exposes the asynchronous BFS variant directly for ablation
+// benchmarks (the Baseline/Optimized dispatch normally chooses it).
+func AsyncBFS(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
+	return asyncBFS(g, src, workers)
+}
+
+// SyncBFS exposes the bulk-synchronous direction-optimizing BFS variant
+// directly for ablation benchmarks.
+func SyncBFS(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
+	return syncBFS(g, src, workers)
+}

@@ -1,0 +1,102 @@
+package galois
+
+import "sync/atomic"
+
+// wsDeque is a Chase-Lev work-stealing deque of chunks: the owner pushes and
+// pops at the bottom (LIFO, cache-warm), thieves steal from the top (FIFO,
+// oldest work first). This is the "highly scalable concurrent data
+// structures such as worklists" §III-B credits Galois with; the asynchronous
+// executor runs one deque per worker.
+type wsDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[dequeBuf]
+}
+
+// dequeBuf is one circular backing array; it is replaced wholesale on
+// growth, so concurrent stealers always read a consistent snapshot.
+type dequeBuf struct {
+	mask  int64
+	items []atomic.Pointer[chunk]
+}
+
+func newDequeBuf(capacity int64) *dequeBuf {
+	return &dequeBuf{mask: capacity - 1, items: make([]atomic.Pointer[chunk], capacity)}
+}
+
+func newWSDeque() *wsDeque {
+	d := &wsDeque{}
+	d.buf.Store(newDequeBuf(64))
+	return d
+}
+
+// pushBottom appends a chunk at the owner's end. Owner-only.
+func (d *wsDeque) pushBottom(c *chunk) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= buf.mask { // full: grow
+		buf = d.grow(buf, t, b)
+	}
+	buf.items[b&buf.mask].Store(c)
+	d.bottom.Store(b + 1)
+}
+
+// popBottom removes the most recently pushed chunk. Owner-only; returns nil
+// when the deque is empty (including losing the race for the last element).
+func (d *wsDeque) popBottom() *chunk {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(t)
+		return nil
+	}
+	c := buf.items[b&buf.mask].Load()
+	if b > t {
+		return c
+	}
+	// Single element left: race against stealers via the top counter.
+	if !d.top.CompareAndSwap(t, t+1) {
+		c = nil // a thief got it
+	}
+	d.bottom.Store(t + 1)
+	return c
+}
+
+// steal removes the oldest chunk. Safe for any goroutine; returns nil when
+// empty or when another thief won the race.
+func (d *wsDeque) steal() *chunk {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	buf := d.buf.Load()
+	c := buf.items[t&buf.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return c
+}
+
+// grow doubles the buffer, copying the live window [t, b).
+func (d *wsDeque) grow(old *dequeBuf, t, b int64) *dequeBuf {
+	bigger := newDequeBuf((old.mask + 1) * 2)
+	for i := t; i < b; i++ {
+		bigger.items[i&bigger.mask].Store(old.items[i&old.mask].Load())
+	}
+	d.buf.Store(bigger)
+	return bigger
+}
+
+// size reports an instantaneous (racy) size estimate.
+func (d *wsDeque) size() int64 {
+	s := d.bottom.Load() - d.top.Load()
+	if s < 0 {
+		return 0
+	}
+	return s
+}

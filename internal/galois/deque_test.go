@@ -1,0 +1,144 @@
+package galois
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mkChunk(v int32) *chunk {
+	c := chunkPool.Get().(*chunk)
+	c.n = 1
+	c.items[0] = v
+	return c
+}
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := newWSDeque()
+	if d.popBottom() != nil {
+		t.Fatal("pop from empty returned a chunk")
+	}
+	for i := int32(0); i < 5; i++ {
+		d.pushBottom(mkChunk(i))
+	}
+	if d.size() != 5 {
+		t.Fatalf("size = %d", d.size())
+	}
+	for i := int32(4); i >= 0; i-- {
+		c := d.popBottom()
+		if c == nil || c.items[0] != i {
+			t.Fatalf("pop %d got %v", i, c)
+		}
+	}
+	if d.popBottom() != nil {
+		t.Fatal("deque not empty after draining")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := newWSDeque()
+	for i := int32(0); i < 4; i++ {
+		d.pushBottom(mkChunk(i))
+	}
+	for i := int32(0); i < 4; i++ {
+		c := d.steal()
+		if c == nil || c.items[0] != i {
+			t.Fatalf("steal %d got %v", i, c)
+		}
+	}
+	if d.steal() != nil {
+		t.Fatal("steal from empty returned a chunk")
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := newWSDeque()
+	const n = 1000 // well past the initial 64 capacity
+	for i := int32(0); i < n; i++ {
+		d.pushBottom(mkChunk(i))
+	}
+	seen := map[int32]bool{}
+	for {
+		c := d.popBottom()
+		if c == nil {
+			break
+		}
+		if seen[c.items[0]] {
+			t.Fatalf("duplicate %d after growth", c.items[0])
+		}
+		seen[c.items[0]] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("recovered %d of %d items", len(seen), n)
+	}
+}
+
+// TestDequeConcurrentStress: one owner pushing/popping, several thieves
+// stealing; every chunk must be consumed exactly once.
+func TestDequeConcurrentStress(t *testing.T) {
+	d := newWSDeque()
+	const total = 50_000
+	const thieves = 4
+	consumed := make([]atomic.Int32, total)
+	var count atomic.Int64
+	record := func(c *chunk) {
+		if c == nil {
+			return
+		}
+		if consumed[c.items[0]].Add(1) != 1 {
+			t.Error("chunk consumed twice")
+		}
+		count.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < thieves; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					// Final sweep.
+					for {
+						c := d.steal()
+						if c == nil {
+							return
+						}
+						record(c)
+					}
+				default:
+					record(d.steal())
+				}
+			}
+		}()
+	}
+	// Owner: interleave pushes and pops.
+	for i := int32(0); i < total; i++ {
+		d.pushBottom(mkChunk(i))
+		if i%3 == 0 {
+			record(d.popBottom())
+		}
+	}
+	for {
+		c := d.popBottom()
+		if c == nil {
+			break
+		}
+		record(c)
+	}
+	close(done)
+	wg.Wait()
+	// Anything left (raced between owner-empty check and thief aborts).
+	for {
+		c := d.steal()
+		if c == nil {
+			break
+		}
+		record(c)
+	}
+	if count.Load() != total {
+		t.Fatalf("consumed %d of %d chunks", count.Load(), total)
+	}
+}

@@ -1,0 +1,111 @@
+package galois
+
+import (
+	"testing"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/kernel"
+)
+
+// TestDiameterDispatch checks the §V Baseline heuristic and its Optimized
+// override: power-law graphs are assumed low-diameter (bulk-synchronous),
+// everything else high-diameter (asynchronous) — which deliberately
+// mislabels Urand in Baseline mode, and is corrected by name in Optimized
+// mode.
+func TestDiameterDispatch(t *testing.T) {
+	cases := []struct {
+		name         string
+		baselineHigh bool // assumed high diameter under Baseline rules
+	}{
+		{"Road", true},
+		{"Twitter", false},
+		{"Kron", false},
+		{"Urand", true}, // the §V-A mislabel: uniform degrees read as high diameter
+	}
+	for _, c := range cases {
+		g, err := generate.ByName(c.name, 10, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := kernel.Options{Mode: kernel.Baseline, UndirectedView: g.Undirected()}
+		if got := assumeHighDiameter(g, base); got != c.baselineHigh {
+			t.Errorf("%s: baseline high-diameter = %t, want %t", c.name, got, c.baselineHigh)
+		}
+		// Cached: second call must agree.
+		if got := assumeHighDiameter(g, base); got != c.baselineHigh {
+			t.Errorf("%s: cached classification flipped", c.name)
+		}
+		// Optimized mode knows the graph by name: only Road is high-diameter.
+		opt := kernel.Options{Mode: kernel.Optimized, GraphName: c.name, UndirectedView: g.Undirected()}
+		if got := assumeHighDiameter(g, opt); got != (c.name == "Road") {
+			t.Errorf("%s: optimized high-diameter = %t", c.name, got)
+		}
+	}
+}
+
+// TestAsyncAndSyncBFSAgree cross-checks the two BFS variants' semantics on
+// the graph each is NOT normally chosen for.
+func TestAsyncAndSyncBFSAgree(t *testing.T) {
+	for _, name := range []string{"Road", "Kron"} {
+		g, err := generate.ByName(name, 9, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var src int32
+		for g.OutDegree(src) == 0 {
+			src++
+		}
+		a := asyncBFS(g, src, 4)
+		s := syncBFS(g, src, 4)
+		for v := range a {
+			if (a[v] >= 0) != (s[v] >= 0) {
+				t.Fatalf("%s: reachability of %d differs between variants", name, v)
+			}
+		}
+	}
+}
+
+// TestBulkAndAsyncSSSPAgree does the same for the delta-stepping variants.
+func TestBulkAndAsyncSSSPAgree(t *testing.T) {
+	g, err := generate.Web(9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src int32
+	for g.OutDegree(src) == 0 {
+		src++
+	}
+	bulk := bulkSSSP(g, src, 16, 4)
+	async := asyncSSSP(g, src, 16, 4)
+	for v := range bulk {
+		if bulk[v] != async[v] {
+			t.Fatalf("dist[%d]: bulk %d != async %d", v, bulk[v], async[v])
+		}
+	}
+}
+
+// TestEdgeBlockedAfforestAgrees validates the Optimized-mode Web variant
+// against the per-vertex phase.
+func TestEdgeBlockedAfforestAgrees(t *testing.T) {
+	g, err := generate.Web(9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := afforest(g, 4, false)
+	blocked := afforest(g, 4, true)
+	canon := func(labels []int32) map[int32]int32 {
+		m := map[int32]int32{}
+		for v, l := range labels {
+			if _, ok := m[l]; !ok {
+				m[l] = int32(v)
+			}
+		}
+		return m
+	}
+	cp, cb := canon(plain), canon(blocked)
+	for v := range plain {
+		if cp[plain[v]] != cb[blocked[v]] {
+			t.Fatalf("partitions differ at %d", v)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package galois
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gapbench/internal/graph"
+)
+
+// Ctx is the operator's handle for generating new work (the Galois
+// UserContext). Pushes go to a worker-local chunk and spill through the
+// executor's sink (the worker's deque, or the next round's bag) when full.
+type Ctx struct {
+	local   *chunk
+	spill   func(*chunk)
+	pending *atomic.Int64
+}
+
+// Push schedules v for (re-)processing.
+func (c *Ctx) Push(v graph.NodeID) {
+	c.pending.Add(1)
+	if c.local.n == chunkSize {
+		c.spill(c.local)
+		c.local = chunkPool.Get().(*chunk)
+		c.local.n = 0
+	}
+	c.local.items[c.local.n] = v
+	c.local.n++
+}
+
+// ForEachAsync runs op over the initial work items and everything they push,
+// with no round structure: each worker owns a Chase-Lev deque (LIFO for
+// itself, stolen FIFO by idle workers) and drains until global quiescence.
+// This is Galois' asynchronous data-driven executor — the mechanism §VI
+// credits for converging "sooner because they can update information faster
+// without waiting at the bulk synchronous ... iteration boundaries".
+//
+// The operator may be applied to the same vertex many times and must be a
+// monotone relaxation (idempotent at fixed point), which all the kernels
+// here are.
+func ForEachAsync(workers int, initial []graph.NodeID, op func(ctx *Ctx, v graph.NodeID)) {
+	if workers < 1 {
+		workers = 1
+	}
+	deques := make([]*wsDeque, workers)
+	for w := range deques {
+		deques[w] = newWSDeque()
+	}
+	// Distribute the seed work round-robin across the deques.
+	for at, w := 0, 0; at < len(initial); w = (w + 1) % workers {
+		c := chunkPool.Get().(*chunk)
+		c.n = copy(c.items[:], initial[at:])
+		at += c.n
+		deques[w].pushBottom(c)
+	}
+	var pending atomic.Int64
+	pending.Store(int64(len(initial)))
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			own := deques[w]
+			ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
+			ctx.local.n = 0
+			ctx.spill = func(c *chunk) { own.pushBottom(c) }
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 0x853c49e6748fea9b
+			idle := 0
+			for {
+				// Own partial chunk first (locality), then own deque, then
+				// steal from a random victim.
+				c := ctx.local
+				if c.n == 0 {
+					c = own.popBottom()
+					for attempts := 0; c == nil && attempts < 2*workers; attempts++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						victim := int((rng >> 33) % uint64(workers))
+						if victim != w {
+							c = deques[victim].steal()
+						}
+					}
+					if c == nil {
+						if pending.Load() == 0 {
+							break
+						}
+						idle++
+						if idle > 16 {
+							time.Sleep(time.Duration(min(idle, 200)) * time.Microsecond)
+						} else {
+							runtime.Gosched()
+						}
+						continue
+					}
+					idle = 0
+				} else {
+					ctx.local = chunkPool.Get().(*chunk)
+					ctx.local.n = 0
+				}
+				n := c.n
+				for i := 0; i < n; i++ {
+					op(ctx, c.items[i])
+				}
+				pending.Add(-int64(n))
+				c.n = 0
+				chunkPool.Put(c)
+			}
+			chunkPool.Put(ctx.local)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEachRounds runs op over work in bulk-synchronous rounds: the operator's
+// pushes form the next round's frontier, with a barrier between rounds (the
+// level-synchronous executor).
+func ForEachRounds(workers int, initial []graph.NodeID, op func(ctx *Ctx, v graph.NodeID)) {
+	if workers < 1 {
+		workers = 1
+	}
+	frontier := fillBag(initial)
+	for !frontier.empty() {
+		next := &bag{}
+		var pending atomic.Int64 // unused for termination here, but Ctx needs it
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
+				ctx.local.n = 0
+				ctx.spill = func(c *chunk) { next.put(c) }
+				for {
+					c := frontier.get()
+					if c == nil {
+						break
+					}
+					for i := 0; i < c.n; i++ {
+						op(ctx, c.items[i])
+					}
+					c.n = 0
+					chunkPool.Put(c)
+				}
+				next.put(ctx.local)
+			}()
+		}
+		wg.Wait()
+		frontier = next
+	}
+}
+
+// PCtx is the push context for the ordered executor; pushes carry a priority
+// (lower runs earlier, best-effort).
+type PCtx struct {
+	exec  *obim
+	local map[int]*chunk
+}
+
+// Push schedules v at the given priority level. Full chunks spill to the
+// shared level bags (becoming stealable); the partial chunk per priority
+// stays worker-local and is processed locally in priority order — the
+// locality that lets one worker race down a high-diameter graph with no
+// synchronization at all while others help whenever chunks spill.
+func (c *PCtx) Push(v graph.NodeID, priority int) {
+	c.exec.pending.Add(1)
+	lc := c.local[priority]
+	if lc == nil {
+		lc = chunkPool.Get().(*chunk)
+		lc.n = 0
+		c.local[priority] = lc
+	}
+	lc.items[lc.n] = v
+	lc.n++
+	if lc.n == chunkSize {
+		c.exec.level(priority).put(lc)
+		delete(c.local, priority)
+	}
+}
+
+// popLowestLocal removes and returns the worker's lowest-priority local
+// chunk, or nil.
+func (c *PCtx) popLowestLocal() *chunk {
+	best := -1
+	for p, lc := range c.local {
+		if lc.n == 0 {
+			continue
+		}
+		if best < 0 || p < best {
+			best = p
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	lc := c.local[best]
+	delete(c.local, best)
+	return lc
+}
+
+// obim is the ordered-by-integer-metric scheduler: one bag per priority
+// level, workers always draining the lowest non-empty level they can find.
+// Like Galois' OBIM it is best-effort — out-of-order execution is possible
+// and the operators tolerate it (label-correcting relaxations).
+type obim struct {
+	mu      sync.Mutex
+	levels  []*bag
+	minHint atomic.Int64
+	pending atomic.Int64
+}
+
+func (o *obim) level(p int) *bag {
+	o.mu.Lock()
+	for p >= len(o.levels) {
+		o.levels = append(o.levels, &bag{})
+	}
+	b := o.levels[p]
+	o.mu.Unlock()
+	if int64(p) < o.minHint.Load() {
+		o.minHint.Store(int64(p)) // benign race: a hint, not an invariant
+	}
+	return b
+}
+
+// next returns a chunk from the lowest non-empty shared level. The level
+// slice is snapshotted under one lock; the per-level bags have their own
+// locks, so idle workers probing for work do not serialize the workers that
+// are producing it.
+func (o *obim) next() *chunk {
+	start := o.minHint.Load()
+	if start < 0 {
+		start = 0
+	}
+	o.mu.Lock()
+	levels := o.levels
+	o.mu.Unlock()
+	for p := int(start); p < len(levels); p++ {
+		if c := levels[p].get(); c != nil {
+			o.minHint.Store(int64(p))
+			return c
+		}
+	}
+	// Nothing found from the hint onward; rescan from zero once.
+	if start > 0 {
+		o.minHint.Store(0)
+		return o.next()
+	}
+	return nil
+}
+
+// ForEachOrdered runs op over work in approximate priority order: the OBIM
+// executor behind Galois' asynchronous BFS, SSSP, and BC. Each worker
+// prefers its own lowest-priority partial chunk (no synchronization), then
+// steals from the shared levels; spilled full chunks keep the other workers
+// fed. Quiescence is detected with a global outstanding-work counter.
+func ForEachOrdered(workers int, initial []graph.NodeID, initialPriority int, op func(ctx *PCtx, v graph.NodeID)) {
+	if workers < 1 {
+		workers = 1
+	}
+	o := &obim{}
+	seedCtx := &PCtx{exec: o, local: map[int]*chunk{}}
+	for _, v := range initial {
+		seedCtx.Push(v, initialPriority)
+	}
+	seedCtx.flushAll()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ctx := &PCtx{exec: o, local: map[int]*chunk{}}
+			idle := 0
+			for {
+				c := ctx.popLowestLocal()
+				if c == nil {
+					c = o.next()
+					if c == nil {
+						if o.pending.Load() == 0 {
+							break
+						}
+						// Exponential backoff keeps idle workers from
+						// hammering the scheduler while one worker races
+						// down a long dependence chain (Road).
+						idle++
+						if idle > 16 {
+							time.Sleep(time.Duration(min(idle, 200)) * time.Microsecond)
+						} else {
+							runtime.Gosched()
+						}
+						continue
+					}
+				}
+				idle = 0
+				n := c.n
+				for i := 0; i < n; i++ {
+					op(ctx, c.items[i])
+				}
+				o.pending.Add(-int64(n))
+				c.n = 0
+				chunkPool.Put(c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// flushAll spills every partial local chunk to the shared levels.
+func (c *PCtx) flushAll() {
+	for p, lc := range c.local {
+		if lc.n > 0 {
+			c.exec.level(p).put(lc)
+		} else {
+			chunkPool.Put(lc)
+		}
+		delete(c.local, p)
+	}
+}

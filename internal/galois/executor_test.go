@@ -1,0 +1,205 @@
+package galois
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gapbench/internal/graph"
+)
+
+func TestForEachAsyncProcessesAllInitialWork(t *testing.T) {
+	const n = 10_000
+	initial := make([]graph.NodeID, n)
+	for i := range initial {
+		initial[i] = graph.NodeID(i)
+	}
+	var count atomic.Int64
+	for _, workers := range []int{1, 4} {
+		count.Store(0)
+		ForEachAsync(workers, initial, func(_ *Ctx, v graph.NodeID) {
+			count.Add(1)
+		})
+		if count.Load() != n {
+			t.Fatalf("workers=%d processed %d, want %d", workers, count.Load(), n)
+		}
+	}
+}
+
+func TestForEachAsyncProcessesPushes(t *testing.T) {
+	// Operator pushes a chain: 0 pushes 1, 1 pushes 2, ... up to limit.
+	const limit = 5000
+	var seen sync.Map
+	var count atomic.Int64
+	ForEachAsync(4, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
+		if _, dup := seen.LoadOrStore(v, true); dup {
+			return
+		}
+		count.Add(1)
+		if v+1 < limit {
+			ctx.Push(v + 1)
+		}
+	})
+	if count.Load() != limit {
+		t.Fatalf("processed %d distinct items, want %d", count.Load(), limit)
+	}
+}
+
+func TestForEachAsyncFanOut(t *testing.T) {
+	// Each item pushes two children to depth 12: 2^13-1 total ops.
+	const depth = 12
+	var count atomic.Int64
+	ForEachAsync(4, []graph.NodeID{1}, func(ctx *Ctx, v graph.NodeID) {
+		count.Add(1)
+		if v < 1<<depth {
+			ctx.Push(2 * v)
+			ctx.Push(2*v + 1)
+		}
+	})
+	want := int64(1<<(depth+1)) - 1
+	if count.Load() != want {
+		t.Fatalf("processed %d, want %d", count.Load(), want)
+	}
+}
+
+func TestForEachRoundsBarrierOrder(t *testing.T) {
+	// A chain where each round holds exactly one item: the barrier between
+	// rounds forces strictly sequential observation order, regardless of
+	// worker count.
+	var mu sync.Mutex
+	var order []graph.NodeID
+	ForEachRounds(4, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
+		mu.Lock()
+		order = append(order, v)
+		mu.Unlock()
+		if v+1 < 50 {
+			ctx.Push(v + 1)
+		}
+	})
+	if len(order) != 50 {
+		t.Fatalf("processed %d, want 50", len(order))
+	}
+	for i, v := range order {
+		if v != graph.NodeID(i) {
+			t.Fatalf("order[%d] = %d: barrier violated", i, v)
+		}
+	}
+}
+
+func TestForEachRoundsChainLength(t *testing.T) {
+	var count atomic.Int64
+	const chain = 257 // crosses several chunk boundaries
+	ForEachRounds(3, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
+		count.Add(1)
+		if v+1 < chain {
+			ctx.Push(v + 1)
+		}
+	})
+	if count.Load() != chain {
+		t.Fatalf("processed %d, want %d", count.Load(), chain)
+	}
+}
+
+func TestForEachOrderedQuiescence(t *testing.T) {
+	// A diamond of pushes with duplicate paths, guarded the way real
+	// relaxation operators are: only the first claim of an item pushes its
+	// successors. All items must be claimed and the executor must reach
+	// quiescence.
+	const limit = 2000
+	claimed := make([]int32, limit+2)
+	claim := func(v graph.NodeID) bool {
+		return atomic.CompareAndSwapInt32(&claimed[v], 0, 1)
+	}
+	claim(0)
+	ForEachOrdered(4, []graph.NodeID{0}, 0, func(ctx *PCtx, v graph.NodeID) {
+		if v >= limit {
+			return
+		}
+		if claim(v + 1) {
+			ctx.Push(v+1, int(v+1))
+		}
+		if v%3 == 0 && claim(v+2) {
+			ctx.Push(v+2, int(v+2)) // duplicate path
+		}
+	})
+	for v := graph.NodeID(0); v <= limit; v++ {
+		if claimed[v] == 0 {
+			t.Fatalf("item %d never claimed", v)
+		}
+	}
+}
+
+func TestForEachOrderedApproximatePriority(t *testing.T) {
+	// Single worker: strictly local-first in ascending priority. Seed two
+	// priorities and confirm the low one runs first.
+	var order []graph.NodeID
+	initial := []graph.NodeID{100} // priority 0 seeds item "100"
+	ForEachOrdered(1, initial, 5, func(ctx *PCtx, v graph.NodeID) {
+		order = append(order, v)
+		if v == 100 {
+			ctx.Push(1, 1) // lower priority than the seed's 5
+			ctx.Push(9, 9)
+		}
+	})
+	if len(order) != 3 || order[0] != 100 || order[1] != 1 || order[2] != 9 {
+		t.Fatalf("order = %v, want [100 1 9]", order)
+	}
+}
+
+func TestBagPutGet(t *testing.T) {
+	b := &bag{}
+	if !b.empty() || b.get() != nil {
+		t.Fatal("fresh bag not empty")
+	}
+	c := chunkPool.Get().(*chunk)
+	c.n = 1
+	c.items[0] = 7
+	b.put(c)
+	if b.empty() {
+		t.Fatal("bag empty after put")
+	}
+	got := b.get()
+	if got == nil || got.items[0] != 7 {
+		t.Fatal("get returned wrong chunk")
+	}
+	got.n = 0
+	chunkPool.Put(got)
+	// Empty chunks are dropped silently.
+	e := chunkPool.Get().(*chunk)
+	e.n = 0
+	b.put(e)
+	if !b.empty() {
+		t.Fatal("empty chunk stored")
+	}
+}
+
+func TestFillBagRoundTrip(t *testing.T) {
+	items := make([]graph.NodeID, 1000)
+	for i := range items {
+		items[i] = graph.NodeID(i)
+	}
+	b := fillBag(items)
+	got := drainBag(b, nil)
+	if len(got) != len(items) {
+		t.Fatalf("drained %d, want %d", len(got), len(items))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, c := range []struct {
+		d int32
+		p graph.NodeID
+	}{{0, 0}, {5, 42}, {1 << 29, -1}, {7, 1<<31 - 1}} {
+		s := pack(c.d, c.p)
+		if depthOf(s) != c.d || parentOf(s) != c.p {
+			t.Fatalf("pack(%d,%d) round trip gave (%d,%d)", c.d, c.p, depthOf(s), parentOf(s))
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package galois_test
+
+import (
+	"testing"
+
+	"gapbench/internal/galois"
+	"gapbench/internal/generate"
+	"gapbench/internal/testutil"
+)
+
+func TestConformance(t *testing.T) {
+	testutil.RunConformance(t, galois.New())
+}
+
+func TestDescribe(t *testing.T) {
+	testutil.Describe(t, galois.New())
+}
+
+func TestAcrossWorkerCounts(t *testing.T) {
+	g, err := generate.Road(8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.RunKernelAcrossWorkers(t, galois.New(), g)
+}

@@ -1,0 +1,169 @@
+package galois
+
+import (
+	"sync/atomic"
+
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+)
+
+// relaxEdges applies the SSSP relaxation operator to u: CAS-min every
+// out-neighbor's distance and report improvements through push.
+func relaxEdges(g *graph.Graph, dist []kernel.Dist, u graph.NodeID, push func(v graph.NodeID, nd kernel.Dist)) {
+	du := atomic.LoadInt32(&dist[u])
+	neigh := g.OutNeighbors(u)
+	ws := g.OutWeights(u)
+	for i, v := range neigh {
+		nd := du + ws[i]
+		old := atomic.LoadInt32(&dist[v])
+		for nd < old {
+			if atomic.CompareAndSwapInt32(&dist[v], old, nd) {
+				push(v, nd)
+				break
+			}
+			old = atomic.LoadInt32(&dist[v])
+		}
+	}
+}
+
+// asyncSSSP is Galois' asynchronous delta-stepping: the relaxation operator
+// over the OBIM ordered executor, priority = distance/delta. No per-bucket
+// barriers exist, which is what narrows the gap to GAP on Road (§V-B:
+// "Asynchronous execution in Galois for Road reduces this performance gap").
+func asyncSSSP(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []kernel.Dist {
+	n := int(g.NumNodes())
+	dist := make([]kernel.Dist, n)
+	for i := range dist {
+		dist[i] = kernel.Inf
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	ForEachOrdered(workers, []graph.NodeID{src}, 0, func(ctx *PCtx, u graph.NodeID) {
+		relaxEdges(g, dist, u, func(v graph.NodeID, nd kernel.Dist) {
+			ctx.Push(v, int(nd/delta))
+		})
+	})
+	return dist
+}
+
+// bulkSSSP is bulk-synchronous delta-stepping through the worklist
+// machinery: each bucket drains to a fixed point with barriers between
+// passes. Deliberately absent is GAP's bucket fusion; §V-B: "GAP is faster
+// than Galois due to the bucket fusion optimization".
+func bulkSSSP(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []kernel.Dist {
+	n := int(g.NumNodes())
+	dist := make([]kernel.Dist, n)
+	for i := range dist {
+		dist[i] = kernel.Inf
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+
+	// buckets[b] holds the pending work for priority level b.
+	var buckets []*bag
+	level := func(b int) *bag {
+		for b >= len(buckets) {
+			buckets = append(buckets, &bag{})
+		}
+		return buckets[b]
+	}
+	seed := chunkPool.Get().(*chunk)
+	seed.items[0] = src
+	seed.n = 1
+	level(0).put(seed)
+
+	for b := 0; b < len(buckets); b++ {
+		lo := kernel.Dist(b) * delta
+		hi := lo + delta
+		for !buckets[b].empty() {
+			// One bulk-synchronous pass over the bucket's current chunks.
+			work := drainBag(buckets[b], nil)
+			results := make([]*priorityChunks, workers)
+			forWorkers(workers, len(work), func(w, loI, hiI int) {
+				out := &priorityChunks{tagged: map[int][]*chunk{}}
+				local := map[int]*chunk{}
+				for i := loI; i < hiI; i++ {
+					u := work[i]
+					du := atomic.LoadInt32(&dist[u])
+					if du < lo || du >= hi {
+						continue // settled earlier or migrated buckets
+					}
+					relaxEdges(g, dist, u, func(v graph.NodeID, nd kernel.Dist) {
+						p := int(nd / delta)
+						lc := local[p]
+						if lc == nil {
+							lc = chunkPool.Get().(*chunk)
+							lc.n = 0
+							local[p] = lc
+						}
+						// Tag the chunk with its priority via the bag map on
+						// flush; chunks themselves are priority-agnostic.
+						if lc.n == chunkSize {
+							out.putTagged(p, lc)
+							lc = chunkPool.Get().(*chunk)
+							lc.n = 0
+							local[p] = lc
+						}
+						lc.items[lc.n] = v
+						lc.n++
+					})
+				}
+				for p, lc := range local {
+					out.putTagged(p, lc)
+				}
+				results[w] = out
+			})
+			// Barrier: merge per-worker tagged chunks into the global buckets.
+			for _, out := range results {
+				if out == nil {
+					continue
+				}
+				for p, cs := range out.tagged {
+					for _, c := range cs {
+						level(p).put(c)
+					}
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// priorityChunks collects full chunks per priority level inside one worker
+// during a bulk pass; the merge into global buckets happens at the barrier.
+type priorityChunks struct {
+	tagged map[int][]*chunk
+}
+
+func (p *priorityChunks) putTagged(prio int, c *chunk) {
+	if c.n == 0 {
+		chunkPool.Put(c)
+		return
+	}
+	p.tagged[prio] = append(p.tagged[prio], c)
+}
+
+// forWorkers splits [0,n) statically across workers, invoking fn with the
+// worker id and its range (running inline when n is 0 to keep result slots
+// deterministic).
+func forWorkers(workers, n int, fn func(w, lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(w, lo, hi int) {
+			fn(w, lo, hi)
+			done <- struct{}{}
+		}(w, lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

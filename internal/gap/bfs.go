@@ -1,0 +1,148 @@
+package gap
+
+import (
+	"sync/atomic"
+
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+	"gapbench/internal/par"
+)
+
+// Direction-optimizing BFS tuning constants from Beamer et al. (SC'12), the
+// values the GAP reference ships with.
+const (
+	dobfsAlpha = 15 // push->pull when frontier edges exceed unexplored/alpha
+	dobfsBeta  = 18 // pull->push when awake count drops below n/beta
+)
+
+// DOBFS runs direction-optimizing breadth-first search from src and returns
+// the parent array under the shared result convention.
+func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID {
+	n := int64(g.NumNodes())
+	workers := opt.EffectiveWorkers()
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if n == 0 {
+		return parent
+	}
+	parent[src] = src
+
+	queue := graph.NewSlidingQueue(n)
+	queue.PushBack(src)
+	queue.SlideWindow()
+	front := graph.NewBitmap(n)
+	curr := graph.NewBitmap(n)
+
+	edgesToCheck := g.NumEdges()
+	scoutCount := g.OutDegree(src)
+
+	for !queue.Empty() {
+		if scoutCount > edgesToCheck/dobfsAlpha {
+			// Switch to pull: the frontier is touching a large fraction of
+			// the remaining edges, so scanning unvisited vertices' in-edges
+			// is cheaper than pushing from the frontier.
+			front.Reset()
+			for _, u := range queue.Frontier() {
+				front.Set(int64(u))
+			}
+			awake := queue.Size()
+			queue.Reset()
+			for {
+				prevAwake := awake
+				curr.Reset()
+				awake = buStep(g, parent, front, curr, workers)
+				front.Swap(curr)
+				if awake == 0 || !(awake >= prevAwake || awake > n/dobfsBeta) {
+					break
+				}
+			}
+			bitmapToQueue(front, queue, workers)
+			queue.SlideWindow()
+			scoutCount = 1
+		} else {
+			edgesToCheck -= scoutCount
+			scoutCount = tdStep(g, parent, queue, workers)
+			queue.SlideWindow()
+		}
+	}
+	return parent
+}
+
+// tdStep is the push ("top-down") step: every frontier vertex claims its
+// unvisited out-neighbors with a CAS on the parent array, appending winners
+// to the next window through per-chunk local buffers (the GAP QueueBuffer).
+// It returns the total out-degree of the newly visited vertices (the scout
+// count driving the direction heuristic).
+func tdStep(g *graph.Graph, parent []graph.NodeID, queue *graph.SlidingQueue, workers int) int64 {
+	frontier := queue.Frontier()
+	var scout atomic.Int64
+	par.ForDynamic(len(frontier), 64, workers, func(lo, hi int) {
+		local := make([]graph.NodeID, 0, 256)
+		var localScout int64
+		for i := lo; i < hi; i++ {
+			u := frontier[i]
+			for _, v := range g.OutNeighbors(u) {
+				if atomic.LoadInt32(&parent[v]) < 0 &&
+					atomic.CompareAndSwapInt32(&parent[v], -1, u) {
+					local = append(local, v)
+					localScout += g.OutDegree(v)
+				}
+			}
+		}
+		if len(local) > 0 {
+			base := queue.Reserve(int64(len(local)))
+			for i, v := range local {
+				queue.Write(base+int64(i), v)
+			}
+		}
+		scout.Add(localScout)
+	})
+	return scout.Load()
+}
+
+// buStep is the pull ("bottom-up") step: every unvisited vertex scans its
+// in-neighbors and adopts the first one found in the frontier bitmap. No
+// atomics are needed because each vertex writes only its own parent slot. It
+// returns the number of vertices awakened into next.
+func buStep(g *graph.Graph, parent []graph.NodeID, front, next *graph.Bitmap, workers int) int64 {
+	n := int(g.NumNodes())
+	return par.ReduceInt64(n, workers, func(lo, hi int) int64 {
+		var awake int64
+		for u := lo; u < hi; u++ {
+			if parent[u] >= 0 {
+				continue
+			}
+			for _, v := range g.InNeighbors(graph.NodeID(u)) {
+				if front.Get(int64(v)) {
+					parent[u] = v
+					next.SetAtomic(int64(u))
+					awake++
+					break
+				}
+			}
+		}
+		return awake
+	})
+}
+
+// bitmapToQueue converts a frontier bitmap back into the sliding queue after
+// the pull phase ends.
+func bitmapToQueue(front *graph.Bitmap, queue *graph.SlidingQueue, workers int) {
+	n := int(front.Len())
+	par.ForWorker(n, workers, func(_, lo, hi int) {
+		local := make([]graph.NodeID, 0, 256)
+		for u := lo; u < hi; u++ {
+			if front.Get(int64(u)) {
+				local = append(local, graph.NodeID(u))
+			}
+		}
+		if len(local) > 0 {
+			base := queue.Reserve(int64(len(local)))
+			for i, v := range local {
+				queue.Write(base+int64(i), v)
+			}
+		}
+	})
+}

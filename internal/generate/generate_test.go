@@ -1,0 +1,206 @@
+package generate_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/graph"
+	"gapbench/internal/verify"
+)
+
+func TestByNameKnownAndUnknown(t *testing.T) {
+	for _, name := range generate.Names {
+		g, err := generate.ByName(name, 8, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: degenerate graph %v", name, g)
+		}
+	}
+	if _, err := generate.ByName("Nope", 8, 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range generate.Names {
+		a, err := generate.ByName(name, 8, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := generate.ByName(name, 8, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: same seed produced different shapes", name)
+		}
+		for u := int32(0); u < a.NumNodes(); u++ {
+			na, nb := a.OutNeighbors(u), b.OutNeighbors(u)
+			if len(na) != len(nb) {
+				t.Fatalf("%s: row %d differs", name, u)
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					t.Fatalf("%s: row %d differs at %d", name, u, i)
+				}
+			}
+		}
+		c, err := generate.ByName(name, 8, 54321)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumEdges() == a.NumEdges() && c.NumNodes() == a.NumNodes() {
+			// Same shape is possible; require at least one adjacency diff.
+			same := true
+		outer:
+			for u := int32(0); u < a.NumNodes(); u++ {
+				na, nc := a.OutNeighbors(u), c.OutNeighbors(u)
+				if len(na) != len(nc) {
+					same = false
+					break
+				}
+				for i := range na {
+					if na[i] != nc[i] {
+						same = false
+						break outer
+					}
+				}
+			}
+			if same {
+				t.Fatalf("%s: different seeds produced identical graphs", name)
+			}
+		}
+	}
+}
+
+func TestWeightsInGAPRange(t *testing.T) {
+	for _, name := range generate.Names {
+		g, err := generate.ByName(name, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Weighted() {
+			t.Fatalf("%s: not weighted", name)
+		}
+		for u := int32(0); u < g.NumNodes(); u++ {
+			for _, w := range g.OutWeights(u) {
+				if w < 1 || w > 255 {
+					t.Fatalf("%s: weight %d outside [1,255]", name, w)
+				}
+			}
+		}
+	}
+}
+
+func TestRoadProperties(t *testing.T) {
+	g, err := generate.Road(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connected: the serpentine spanning path guarantees one component.
+	labels := verify.Components(g)
+	for v := range labels {
+		if labels[v] != labels[0] {
+			t.Fatalf("road graph disconnected at vertex %d", v)
+		}
+	}
+	// Bounded degree.
+	var maxDeg int64
+	for u := int32(0); u < g.NumNodes(); u++ {
+		if d := g.OutDegree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 4 {
+		t.Fatalf("road max degree = %d, want <= 4 (lattice)", maxDeg)
+	}
+	// Two-way streets: out-adjacency is symmetric despite Directed=true.
+	if !g.Directed() {
+		t.Fatal("road should be directed")
+	}
+	stats := graph.ComputeStats(g)
+	if stats.Distribution != graph.DistBounded {
+		t.Fatalf("road classified %s, want bounded", stats.Distribution)
+	}
+	if stats.ApproxDiameter < 30 {
+		t.Fatalf("road diameter = %d, suspiciously small", stats.ApproxDiameter)
+	}
+}
+
+func TestTopologySignatures(t *testing.T) {
+	// At benchmark-like scale the five graphs must land in their Table I
+	// distribution classes and diameter regimes.
+	type sig struct {
+		name     string
+		scale    int
+		class    graph.DegreeDistribution
+		directed bool
+	}
+	for _, s := range []sig{
+		{generate.NameTwitter, 11, graph.DistPower, true},
+		{generate.NameWeb, 11, graph.DistPower, true},
+		{generate.NameKron, 11, graph.DistPower, false},
+		{generate.NameUrand, 11, graph.DistNormal, false},
+	} {
+		g, err := generate.ByName(s.name, s.scale, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Directed() != s.directed {
+			t.Errorf("%s: directed = %t, want %t", s.name, g.Directed(), s.directed)
+		}
+		if got := graph.ClassifyDegrees(g); got != s.class {
+			t.Errorf("%s: classified %s, want %s", s.name, got, s.class)
+		}
+	}
+	// Web's diameter must sit well above Twitter's (135 vs 14 in Table I).
+	web, _ := generate.Web(11, 42)
+	tw, _ := generate.Twitter(11, 42)
+	dw := graph.ApproxDiameter(web, 4)
+	dt := graph.ApproxDiameter(tw, 4)
+	if dw < 3*dt {
+		t.Errorf("web diameter %d not well above twitter %d", dw, dt)
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	for _, name := range generate.Names {
+		if _, err := generate.ByName(name, 0, 1); err == nil {
+			t.Errorf("%s: scale 0 accepted", name)
+		}
+		if _, err := generate.ByName(name, 31, 1); err == nil {
+			t.Errorf("%s: scale 31 accepted", name)
+		}
+	}
+}
+
+// Property: generated graphs always have sorted, deduplicated, in-range
+// adjacency with no self loops.
+func TestGeneratedAdjacencyInvariants(t *testing.T) {
+	f := func(seed uint64, pick uint8) bool {
+		name := generate.Names[int(pick)%len(generate.Names)]
+		g, err := generate.ByName(name, 6, seed)
+		if err != nil {
+			return false
+		}
+		n := g.NumNodes()
+		for u := int32(0); u < n; u++ {
+			neigh := g.OutNeighbors(u)
+			for i, v := range neigh {
+				if v < 0 || v >= n || v == u {
+					return false
+				}
+				if i > 0 && neigh[i-1] >= v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

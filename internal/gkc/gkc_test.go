@@ -1,0 +1,25 @@
+package gkc_test
+
+import (
+	"testing"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/gkc"
+	"gapbench/internal/testutil"
+)
+
+func TestConformance(t *testing.T) {
+	testutil.RunConformance(t, gkc.New())
+}
+
+func TestDescribe(t *testing.T) {
+	testutil.Describe(t, gkc.New())
+}
+
+func TestAcrossWorkerCounts(t *testing.T) {
+	g, err := generate.Twitter(8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.RunKernelAcrossWorkers(t, gkc.New(), g)
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"gapbench/internal/par"
+)
+
+// Edge is one directed edge (or one endpoint pair of an undirected edge) in a
+// builder input list.
+type Edge struct {
+	U, V NodeID
+}
+
+// WEdge is an Edge with a weight.
+type WEdge struct {
+	U, V NodeID
+	W    Weight
+}
+
+// BuildOptions configures CSR construction.
+type BuildOptions struct {
+	// NumNodes fixes the vertex count. If zero, it is inferred as
+	// max(endpoint)+1.
+	NumNodes int32
+	// Directed selects a directed graph. Undirected graphs store each edge in
+	// both directions and alias the in-CSR to the out-CSR.
+	Directed bool
+	// KeepSelfLoops retains u->u edges. The GAP builder drops them by default
+	// (they are meaningless for every benchmark kernel and break TC).
+	KeepSelfLoops bool
+	// Workers bounds construction parallelism; <1 means the default.
+	Workers int
+}
+
+// Build constructs a CSR graph from an unweighted edge list. Adjacency lists
+// come out sorted and deduplicated. It returns an error if any endpoint is
+// negative or (when NumNodes is set) out of range.
+func Build(edges []Edge, opt BuildOptions) (*Graph, error) {
+	we := make([]WEdge, len(edges))
+	for i, e := range edges {
+		we[i] = WEdge{U: e.U, V: e.V}
+	}
+	g, err := BuildWeighted(we, opt)
+	if err != nil {
+		return nil, err
+	}
+	g.outWeight = nil
+	g.inWeight = nil
+	return g, nil
+}
+
+// BuildWeighted constructs a weighted CSR graph from a weighted edge list.
+// When duplicate edges (same u,v) appear, the one with the smallest weight is
+// kept — the only convention under which deduplication cannot change any
+// shortest-path answer.
+func BuildWeighted(edges []WEdge, opt BuildOptions) (*Graph, error) {
+	n := opt.NumNodes
+	for _, e := range edges {
+		if e.U < 0 || e.V < 0 {
+			return nil, fmt.Errorf("graph: negative node id in edge (%d,%d)", e.U, e.V)
+		}
+		if opt.NumNodes > 0 && (e.U >= opt.NumNodes || e.V >= opt.NumNodes) {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for %d nodes", e.U, e.V, opt.NumNodes)
+		}
+		if opt.NumNodes == 0 {
+			if e.U >= n {
+				n = e.U + 1
+			}
+			if e.V >= n {
+				n = e.V + 1
+			}
+		}
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: invalid node count %d", n)
+	}
+
+	// Materialize the full directed edge multiset: as-given for directed
+	// graphs, both directions for undirected ones.
+	work := make([]WEdge, 0, len(edges)*2)
+	for _, e := range edges {
+		if e.U == e.V && !opt.KeepSelfLoops {
+			continue
+		}
+		work = append(work, e)
+		if !opt.Directed && e.U != e.V {
+			work = append(work, WEdge{U: e.V, V: e.U, W: e.W})
+		}
+	}
+
+	outIndex, outNeigh, outWeight := buildCSR(n, work, opt.Workers)
+	g := &Graph{
+		n:         n,
+		directed:  opt.Directed,
+		outIndex:  outIndex,
+		outNeigh:  outNeigh,
+		outWeight: outWeight,
+	}
+	if opt.Directed {
+		// Transpose for the in-CSR.
+		tr := make([]WEdge, len(work))
+		for i, e := range work {
+			tr[i] = WEdge{U: e.V, V: e.U, W: e.W}
+		}
+		g.inIndex, g.inNeigh, g.inWeight = buildCSR(n, tr, opt.Workers)
+	} else {
+		g.inIndex, g.inNeigh, g.inWeight = outIndex, outNeigh, outWeight
+	}
+	return g, nil
+}
+
+// buildCSR sorts the directed edge list by (U,V), deduplicates (keeping the
+// minimum weight), and packs it into index/neighbor/weight arrays.
+func buildCSR(n int32, edges []WEdge, workers int) ([]int64, []NodeID, []Weight) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		if edges[i].V != edges[j].V {
+			return edges[i].V < edges[j].V
+		}
+		return edges[i].W < edges[j].W
+	})
+	// Deduplicate in place; after the sort the min-weight duplicate is first.
+	kept := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e.U == edges[i-1].U && e.V == edges[i-1].V {
+			continue
+		}
+		kept = append(kept, e)
+	}
+
+	index := make([]int64, n+1)
+	for _, e := range kept {
+		index[e.U+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		index[i+1] += index[i]
+	}
+	neigh := make([]NodeID, len(kept))
+	weight := make([]Weight, len(kept))
+	par.ForBlocked(len(kept), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			neigh[i] = kept[i].V
+			weight[i] = kept[i].W
+		}
+	})
+	return index, neigh, weight
+}
+
+// Undirected returns an undirected view of g: g itself when already
+// undirected, otherwise a new symmetrized graph (u–v present when either
+// direction was). Triangle counting and connected components consume this,
+// mirroring the GAP treatment of directed inputs.
+func (g *Graph) Undirected() *Graph {
+	if !g.directed {
+		return g
+	}
+	edges := make([]WEdge, 0, g.NumEdges())
+	hasW := g.Weighted()
+	for u := int32(0); u < g.n; u++ {
+		neigh := g.OutNeighbors(u)
+		var ws []Weight
+		if hasW {
+			ws = g.OutWeights(u)
+		}
+		for i, v := range neigh {
+			w := Weight(0)
+			if hasW {
+				w = ws[i]
+			}
+			edges = append(edges, WEdge{U: u, V: v, W: w})
+		}
+	}
+	ug, err := BuildWeighted(edges, BuildOptions{NumNodes: g.n, Directed: false})
+	if err != nil {
+		// Inputs came from a valid graph; failure here is a program bug.
+		panic("graph: symmetrize: " + err.Error())
+	}
+	if !hasW {
+		ug.outWeight, ug.inWeight = nil, nil
+	}
+	return ug
+}
+
+// FromCSR adopts pre-built CSR arrays after validating their structure:
+// index arrays must be monotone and consistent with the neighbor arrays,
+// and every neighbor id must be in range. Relabeling and deserialization
+// both funnel through here, so corrupt or hostile inputs are rejected
+// instead of panicking later inside a kernel.
+func FromCSR(n int32, directed bool, outIndex []int64, outNeigh []NodeID, inIndex []int64, inNeigh []NodeID, outWeight, inWeight []Weight) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if err := validateCSR(n, "out", outIndex, outNeigh, outWeight); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		n: n, directed: directed,
+		outIndex: outIndex, outNeigh: outNeigh,
+		outWeight: outWeight,
+	}
+	if directed {
+		if err := validateCSR(n, "in", inIndex, inNeigh, inWeight); err != nil {
+			return nil, err
+		}
+		g.inIndex, g.inNeigh, g.inWeight = inIndex, inNeigh, inWeight
+	} else {
+		g.inIndex, g.inNeigh, g.inWeight = outIndex, outNeigh, outWeight
+	}
+	return g, nil
+}
+
+// validateCSR checks one CSR side for structural consistency.
+func validateCSR(n int32, side string, index []int64, neigh []NodeID, weight []Weight) error {
+	if int64(len(index)) != int64(n)+1 {
+		return fmt.Errorf("graph: %s index length %d != n+1 (%d)", side, len(index), int64(n)+1)
+	}
+	if index[0] != 0 {
+		return fmt.Errorf("graph: %s index[0] = %d, want 0", side, index[0])
+	}
+	if index[n] != int64(len(neigh)) {
+		return fmt.Errorf("graph: %s index end %d != neighbor count %d", side, index[n], len(neigh))
+	}
+	for i := int32(0); i < n; i++ {
+		if index[i+1] < index[i] {
+			return fmt.Errorf("graph: %s index not monotone at row %d", side, i)
+		}
+	}
+	for _, v := range neigh {
+		if v < 0 || v >= n {
+			return fmt.Errorf("graph: %s neighbor %d out of range [0,%d)", side, v, n)
+		}
+	}
+	if weight != nil && len(weight) != len(neigh) {
+		return fmt.Errorf("graph: %s weight length %d != neighbor count %d", side, len(weight), len(neigh))
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary serialization of CSR graphs, the analogue of the GAP reference's
+// ".sg"/".wsg" serialized-graph files: generating a benchmark graph once and
+// reloading it is far cheaper than regenerating it per run.
+//
+// Layout (little-endian):
+//
+//	magic "GAPB" | version u32 | flags u32 (bit0 directed, bit1 weighted)
+//	n u32 | m u64 (out-CSR entry count)
+//	outIndex [n+1]u64 | outNeigh [m]u32 | [outWeight [m]u32]
+//	directed only: mIn u64 | inIndex [n+1]u64 | inNeigh [mIn]u32 | [inWeight [mIn]u32]
+
+const (
+	fileMagic   = "GAPB"
+	fileVersion = 1
+
+	flagDirected = 1 << 0
+	flagWeighted = 1 << 1
+)
+
+// Write serializes the graph. It returns the first write error encountered.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.directed {
+		flags |= flagDirected
+	}
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	for _, v := range []uint32{fileVersion, flags, uint32(g.n)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(g.outNeigh))); err != nil {
+		return err
+	}
+	if err := writeInt64s(bw, g.outIndex); err != nil {
+		return err
+	}
+	if err := writeInt32s(bw, g.outNeigh); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := writeInt32s(bw, g.outWeight); err != nil {
+			return err
+		}
+	}
+	if g.directed {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(g.inNeigh))); err != nil {
+			return err
+		}
+		if err := writeInt64s(bw, g.inIndex); err != nil {
+			return err
+		}
+		if err := writeInt32s(bw, g.inNeigh); err != nil {
+			return err
+		}
+		if g.Weighted() {
+			if err := writeInt32s(bw, g.inWeight); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a graph written by Write.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var version, flags, n uint32
+	for _, p := range []*uint32{&version, &flags, &n} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("graph: unsupported file version %d", version)
+	}
+	directed := flags&flagDirected != 0
+	weighted := flags&flagWeighted != 0
+
+	if n > 1<<31-2 {
+		return nil, fmt.Errorf("graph: vertex count %d out of range", n)
+	}
+	readSide := func() ([]int64, []NodeID, []Weight, error) {
+		var m uint64
+		if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+			return nil, nil, nil, err
+		}
+		// Bound the claimed entry count before allocating: a corrupt or
+		// hostile header must not drive a giant (or negative) make().
+		if m > 1<<40 {
+			return nil, nil, nil, fmt.Errorf("graph: entry count %d out of range", m)
+		}
+		index, err := readInt64s(br, int(n)+1)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		neigh, err := readInt32s(br, int(m))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var weight []Weight
+		if weighted {
+			if weight, err = readInt32s(br, int(m)); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		return index, neigh, weight, nil
+	}
+
+	outIndex, outNeigh, outWeight, err := readSide()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading out-CSR: %w", err)
+	}
+	var inIndex []int64
+	var inNeigh []NodeID
+	var inWeight []Weight
+	if directed {
+		if inIndex, inNeigh, inWeight, err = readSide(); err != nil {
+			return nil, fmt.Errorf("graph: reading in-CSR: %w", err)
+		}
+	}
+	return FromCSR(int32(n), directed, outIndex, outNeigh, inIndex, inNeigh, outWeight, inWeight)
+}
+
+// Save writes the graph to a file.
+func (g *Graph) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a graph from a file written by Save.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+func writeInt64s(w io.Writer, xs []int64) error {
+	buf := make([]byte, 8*4096)
+	for len(xs) > 0 {
+		chunk := len(xs)
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(xs[i]))
+		}
+		if _, err := w.Write(buf[:chunk*8]); err != nil {
+			return err
+		}
+		xs = xs[chunk:]
+	}
+	return nil
+}
+
+func writeInt32s(w io.Writer, xs []int32) error {
+	buf := make([]byte, 4*8192)
+	for len(xs) > 0 {
+		chunk := len(xs)
+		if chunk > 8192 {
+			chunk = 8192
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(xs[i]))
+		}
+		if _, err := w.Write(buf[:chunk*4]); err != nil {
+			return err
+		}
+		xs = xs[chunk:]
+	}
+	return nil
+}
+
+// readInt64s reads n little-endian int64s. The output grows incrementally
+// so a corrupt header claiming billions of entries fails at end-of-input
+// instead of pre-allocating unbounded memory.
+func readInt64s(r io.Reader, n int) ([]int64, error) {
+	initial := n
+	if initial > 1<<20 {
+		initial = 1 << 20
+	}
+	out := make([]int64, 0, initial)
+	buf := make([]byte, 8*4096)
+	for i := 0; i < n; {
+		chunk := n - i
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*8]); err != nil {
+			return nil, err
+		}
+		for j := 0; j < chunk; j++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[j*8:])))
+		}
+		i += chunk
+	}
+	return out, nil
+}
+
+// readInt32s reads n little-endian int32s with the same incremental growth
+// as readInt64s.
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	initial := n
+	if initial > 1<<21 {
+		initial = 1 << 21
+	}
+	out := make([]int32, 0, initial)
+	buf := make([]byte, 4*8192)
+	for i := 0; i < n; {
+		chunk := n - i
+		if chunk > 8192 {
+			chunk = 8192
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
+			return nil, err
+		}
+		for j := 0; j < chunk; j++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[j*4:])))
+		}
+		i += chunk
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package graph
+
+import "sync/atomic"
+
+// SlidingQueue is the GAP reference's frontier container: a single backing
+// array holding the current frontier as a window [head, tail) while the next
+// frontier is appended concurrently after tail. SlideWindow advances the
+// window so the appended elements become the new frontier, with no copying.
+type SlidingQueue struct {
+	buf   []NodeID
+	head  int64
+	tail  int64 // start of the in-progress next window
+	next  atomic.Int64
+	limit int64
+}
+
+// NewSlidingQueue returns a queue able to hold capacity ids in total across
+// all windows (for BFS this is NumNodes: each vertex enters at most once).
+func NewSlidingQueue(capacity int64) *SlidingQueue {
+	return &SlidingQueue{buf: make([]NodeID, capacity), limit: capacity}
+}
+
+// PushBack appends one id to the next window without synchronization.
+func (q *SlidingQueue) PushBack(v NodeID) {
+	i := q.next.Load()
+	q.buf[i] = v
+	q.next.Store(i + 1)
+}
+
+// Reserve atomically claims room for count appends and returns the first
+// index of the claimed block; the caller fills buf[idx:idx+count] via Write.
+// This is how per-thread local buffers are flushed into the shared frontier.
+func (q *SlidingQueue) Reserve(count int64) int64 {
+	return q.next.Add(count) - count
+}
+
+// Write stores v at an index previously claimed with Reserve.
+func (q *SlidingQueue) Write(idx int64, v NodeID) { q.buf[idx] = v }
+
+// SlideWindow makes everything appended since the last slide the current
+// frontier.
+func (q *SlidingQueue) SlideWindow() {
+	q.head = q.tail
+	q.tail = q.next.Load()
+}
+
+// Empty reports whether the current frontier window is empty.
+func (q *SlidingQueue) Empty() bool { return q.head == q.tail }
+
+// Size returns the number of ids in the current frontier window.
+func (q *SlidingQueue) Size() int64 { return q.tail - q.head }
+
+// Frontier returns the current window. The slice aliases queue storage.
+func (q *SlidingQueue) Frontier() []NodeID { return q.buf[q.head:q.tail] }
+
+// Reset empties the queue entirely (all windows).
+func (q *SlidingQueue) Reset() {
+	q.head, q.tail = 0, 0
+	q.next.Store(0)
+}

@@ -1,0 +1,93 @@
+package graphit
+
+import (
+	"time"
+
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+)
+
+// TuneResult records one autotuner candidate.
+type TuneResult struct {
+	Schedule Schedule
+	Seconds  float64
+}
+
+// Autotune explores the schedule space for a kernel on a concrete graph and
+// returns the fastest schedule found, with the full exploration trace. This
+// is the miniature counterpart of GraphIt's OpenTuner-based autotuner
+// (§III-D: "explores the optimization space and finds high-performance
+// schedules quickly"); the space here is small enough to sweep exhaustively
+// with `trials` timed runs per point. Tuning time is NOT part of any
+// benchmark timing — the paper's Optimized rule set explicitly excludes it
+// ("They were not required to include the time for such tuning efforts").
+func Autotune(g *graph.Graph, kernelName string, src graph.NodeID, trials, workers int) (Schedule, []TuneResult) {
+	if trials < 1 {
+		trials = 1
+	}
+	candidates := scheduleSpace(kernelName, g)
+	results := make([]TuneResult, 0, len(candidates))
+	best := candidates[0]
+	bestSec := -1.0
+	delta := kernel.Dist(16)
+	for _, cand := range candidates {
+		sec := -1.0
+		for t := 0; t < trials; t++ {
+			start := time.Now()
+			switch kernelName {
+			case "bfs":
+				_ = bfs(g, src, cand, workers)
+			case "sssp":
+				_ = sssp(g, src, delta, cand, workers)
+			case "pr":
+				_ = pr(g, cand, workers)
+			case "cc":
+				_ = cc(g, cand, workers)
+			default: // bc
+				_ = bc(g, []graph.NodeID{src}, cand, workers)
+			}
+			if s := time.Since(start).Seconds(); sec < 0 || s < sec {
+				sec = s
+			}
+		}
+		results = append(results, TuneResult{Schedule: cand, Seconds: sec})
+		if bestSec < 0 || sec < bestSec {
+			best, bestSec = cand, sec
+		}
+	}
+	return best, results
+}
+
+// scheduleSpace enumerates the meaningful schedule points for a kernel.
+func scheduleSpace(kernelName string, g *graph.Graph) []Schedule {
+	segs := segmentsFor(g)
+	switch kernelName {
+	case "bfs":
+		return []Schedule{
+			{Direction: DirOpt, Frontier: SparseList},
+			{Direction: DirOpt, Frontier: Bitvector},
+			{Direction: PushOnly, Frontier: SparseList},
+		}
+	case "sssp":
+		return []Schedule{
+			{Direction: PushOnly, BucketFusion: true},
+			{Direction: PushOnly, BucketFusion: false},
+		}
+	case "pr":
+		return []Schedule{
+			{CacheTiling: false},
+			{CacheTiling: true, NumSegments: segs},
+			{CacheTiling: true, NumSegments: 2 * segs},
+		}
+	case "cc":
+		return []Schedule{
+			{ShortCircuit: false},
+			{ShortCircuit: true},
+		}
+	default: // bc
+		return []Schedule{
+			{Direction: DirOpt, Frontier: Bitvector},
+			{Direction: DirOpt, Frontier: SparseList},
+		}
+	}
+}

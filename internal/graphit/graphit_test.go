@@ -1,0 +1,25 @@
+package graphit_test
+
+import (
+	"testing"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/graphit"
+	"gapbench/internal/testutil"
+)
+
+func TestConformance(t *testing.T) {
+	testutil.RunConformance(t, graphit.New())
+}
+
+func TestDescribe(t *testing.T) {
+	testutil.Describe(t, graphit.New())
+}
+
+func TestAcrossWorkerCounts(t *testing.T) {
+	g, err := generate.Web(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.RunKernelAcrossWorkers(t, graphit.New(), g)
+}

@@ -1,0 +1,365 @@
+package graphit
+
+import (
+	"math"
+	"sync/atomic"
+
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+	"gapbench/internal/par"
+)
+
+// bfs is the GraphIt BFS: edgeset-apply rounds with the traversal direction
+// chosen by the schedule (DirOpt per-round, or PushOnly for the Optimized
+// Road schedule that skips the active-vertex counting overhead, §V-A).
+func bfs(g *graph.Graph, src graph.NodeID, sched Schedule, workers int) []graph.NodeID {
+	n := int64(g.NumNodes())
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if n == 0 {
+		return parent
+	}
+	parent[src] = src
+	frontier := FromList(n, []graph.NodeID{src})
+	edgesToCheck := g.NumEdges()
+	scout := g.OutDegree(src)
+	const alpha, beta = 15, 18
+
+	for frontier.Size() > 0 {
+		usePull := sched.Direction == PullOnly ||
+			(sched.Direction == DirOpt && scout > edgesToCheck/alpha)
+		if usePull {
+			awake := frontier.Size()
+			cur := frontier.ToBitvector()
+			for {
+				prev := awake
+				next := EdgesetApplyPull(g, cur, workers,
+					func(v graph.NodeID) bool { return parent[v] < 0 },
+					func(u, v graph.NodeID) bool { parent[v] = u; return true })
+				awake = next.Size()
+				cur = next
+				if awake == 0 || !(awake >= prev || awake > n/beta) {
+					break
+				}
+			}
+			frontier = cur.ToList()
+			scout = 1
+		} else {
+			edgesToCheck -= scout
+			var newScout atomic.Int64
+			frontier = EdgesetApplyPush(g, frontier, sched.Frontier, workers, func(u, v graph.NodeID) bool {
+				if atomic.LoadInt32(&parent[v]) < 0 &&
+					atomic.CompareAndSwapInt32(&parent[v], -1, u) {
+					newScout.Add(g.OutDegree(v))
+					return true
+				}
+				return false
+			})
+			scout = newScout.Load()
+			if sched.Direction == PushOnly {
+				// No active-vertex accounting in push-only schedules.
+				scout = 0
+				edgesToCheck = g.NumEdges()
+			}
+		}
+	}
+	return parent
+}
+
+// sssp is GraphIt's delta-stepping with the bucket-fusion optimization it
+// originated (§VI): a thread whose next bucket has the same priority keeps
+// processing without synchronizing, cutting rounds ~10x on Road.
+func sssp(g *graph.Graph, src graph.NodeID, delta kernel.Dist, sched Schedule, workers int) []kernel.Dist {
+	n := int(g.NumNodes())
+	dist := make([]kernel.Dist, n)
+	for i := range dist {
+		dist[i] = kernel.Inf
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+
+	type workerBins struct {
+		bins [][]graph.NodeID
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	wb := make([]workerBins, workers)
+	put := func(w *workerBins, b int, v graph.NodeID) {
+		for b >= len(w.bins) {
+			w.bins = append(w.bins, nil)
+		}
+		w.bins[b] = append(w.bins[b], v)
+	}
+
+	frontier := []graph.NodeID{src}
+	bucket := 0
+	const fusionThreshold = 1024
+
+	for {
+		lo := kernel.Dist(bucket) * delta
+		hi := lo + delta
+		par.ForWorker(len(frontier), workers, func(wid, lo2, hi2 int) {
+			w := &wb[wid]
+			relax := func(u graph.NodeID) {
+				du := atomic.LoadInt32(&dist[u])
+				if du < lo || du >= hi {
+					return
+				}
+				neigh := g.OutNeighbors(u)
+				ws := g.OutWeights(u)
+				for i, v := range neigh {
+					nd := du + ws[i]
+					old := atomic.LoadInt32(&dist[v])
+					for nd < old {
+						if atomic.CompareAndSwapInt32(&dist[v], old, nd) {
+							put(w, int(nd/delta), v)
+							break
+						}
+						old = atomic.LoadInt32(&dist[v])
+					}
+				}
+			}
+			for i := lo2; i < hi2; i++ {
+				relax(frontier[i])
+			}
+			if sched.BucketFusion {
+				// Bucket fusion: keep draining our own current-priority bin
+				// while it stays small.
+				for bucket < len(w.bins) {
+					batch := w.bins[bucket]
+					if len(batch) == 0 || len(batch) > fusionThreshold {
+						break
+					}
+					w.bins[bucket] = nil
+					for _, u := range batch {
+						relax(u)
+					}
+				}
+			}
+		})
+		next := -1
+		for w := range wb {
+			for b := bucket; b < len(wb[w].bins); b++ {
+				if len(wb[w].bins[b]) > 0 && (next < 0 || b < next) {
+					next = b
+					break
+				}
+			}
+		}
+		if next < 0 {
+			break
+		}
+		frontier = frontier[:0]
+		for w := range wb {
+			if next < len(wb[w].bins) {
+				frontier = append(frontier, wb[w].bins[next]...)
+				wb[w].bins[next] = nil
+			}
+		}
+		bucket = next
+	}
+	return dist
+}
+
+// cc is GraphIt's label-propagation connected components: O(E*D) where
+// Afforest is O(V)-ish, because "GraphIt does not yet support sampling
+// algorithms" (§V-C) — the largest deliberate performance gap in the paper's
+// tables. The short-circuit schedule pointer-jumps label chains between
+// rounds, the Optimized Road variant worth ~3x (still far behind).
+func cc(g *graph.Graph, sched Schedule, workers int) []graph.NodeID {
+	n := int(g.NumNodes())
+	comp := make([]graph.NodeID, n)
+	for i := range comp {
+		comp[i] = graph.NodeID(i)
+	}
+	if n == 0 {
+		return comp
+	}
+	frontier := make([]graph.NodeID, n)
+	for i := range frontier {
+		frontier[i] = graph.NodeID(i)
+	}
+
+	for len(frontier) > 0 {
+		var collect chunkCollect
+		par.ForDynamic(len(frontier), 128, workers, func(lo, hi int) {
+			var local []graph.NodeID
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				cu := atomic.LoadInt32(&comp[u])
+				propagate := func(v graph.NodeID) {
+					old := atomic.LoadInt32(&comp[v])
+					for cu < old {
+						if atomic.CompareAndSwapInt32(&comp[v], old, cu) {
+							local = append(local, v)
+							break
+						}
+						old = atomic.LoadInt32(&comp[v])
+					}
+				}
+				for _, v := range g.OutNeighbors(u) {
+					propagate(v)
+				}
+				if g.Directed() {
+					for _, v := range g.InNeighbors(u) {
+						propagate(v)
+					}
+				}
+			}
+			collect.add(local)
+		})
+		frontier = collect.take()
+		if sched.ShortCircuit {
+			// Pointer-jump chains: comp[v] <- comp[comp[v]] to a fixed point.
+			par.ForBlocked(n, workers, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					c := atomic.LoadInt32(&comp[v])
+					for {
+						cc := atomic.LoadInt32(&comp[c])
+						if cc == c {
+							break
+						}
+						c = cc
+					}
+					atomic.StoreInt32(&comp[v], c)
+				}
+			})
+		}
+	}
+	return comp
+}
+
+// pr is GraphIt's Jacobi PageRank with optional cache tiling (§V-D): the
+// in-edge array is split into source-range segments so the random reads of
+// contributions stay within a cache-sized window. Building the segmented
+// representation is timed and "amortized within 2-5 iterations".
+func pr(g *graph.Graph, sched Schedule, workers int) []float64 {
+	n := int(g.NumNodes())
+	if n == 0 {
+		return nil
+	}
+	base := (1 - kernel.PRDamping) / float64(n)
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	contrib := make([]float64, n)
+	initial := 1 / float64(n)
+	for i := range ranks {
+		ranks[i] = initial
+	}
+
+	var segments []segmentCSR
+	if sched.CacheTiling && sched.NumSegments > 1 {
+		segments = buildSegments(g, sched.NumSegments)
+	}
+
+	for it := 0; it < kernel.PRMaxIters; it++ {
+		dangling := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+			var d float64
+			for u := lo; u < hi; u++ {
+				if deg := g.OutDegree(graph.NodeID(u)); deg > 0 {
+					contrib[u] = ranks[u] / float64(deg)
+				} else {
+					contrib[u] = 0
+					d += ranks[u]
+				}
+			}
+			return d
+		})
+		danglingShare := kernel.PRDamping * dangling / float64(n)
+
+		if segments != nil {
+			par.ForBlocked(n, workers, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					next[v] = 0
+				}
+			})
+			for _, seg := range segments {
+				par.ForBlocked(n, workers, func(lo, hi int) {
+					for v := lo; v < hi; v++ {
+						sum := 0.0
+						for _, u := range seg.neigh[seg.index[v]:seg.index[v+1]] {
+							sum += contrib[u]
+						}
+						next[v] += sum
+					}
+				})
+			}
+			par.ForBlocked(n, workers, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					next[v] = base + danglingShare + kernel.PRDamping*next[v]
+				}
+			})
+		} else {
+			par.ForBlocked(n, workers, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					sum := 0.0
+					for _, u := range g.InNeighbors(graph.NodeID(v)) {
+						sum += contrib[u]
+					}
+					next[v] = base + danglingShare + kernel.PRDamping*sum
+				}
+			})
+		}
+		delta := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+			var d float64
+			for v := lo; v < hi; v++ {
+				d += math.Abs(next[v] - ranks[v])
+			}
+			return d
+		})
+		ranks, next = next, ranks
+		if delta < kernel.PRTolerance {
+			break
+		}
+	}
+	return ranks
+}
+
+// segmentCSR is one cache tile: the in-CSR restricted to sources within one
+// contiguous range.
+type segmentCSR struct {
+	index []int64
+	neigh []graph.NodeID
+}
+
+// buildSegments splits the in-edge lists by source range into numSegments
+// tiles (the graph-tiling preprocessing of Zhang et al.'s cache
+// optimization).
+func buildSegments(g *graph.Graph, numSegments int) []segmentCSR {
+	n := int(g.NumNodes())
+	width := (n + numSegments - 1) / numSegments
+	segs := make([]segmentCSR, numSegments)
+	for s := range segs {
+		segs[s].index = make([]int64, n+1)
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.InNeighbors(graph.NodeID(v)) {
+			s := int(u) / width
+			segs[s].index[v+1]++
+		}
+	}
+	for s := range segs {
+		idx := segs[s].index
+		for v := 0; v < n; v++ {
+			idx[v+1] += idx[v]
+		}
+		segs[s].neigh = make([]graph.NodeID, idx[n])
+	}
+	fill := make([]int64, numSegments)
+	for v := 0; v < n; v++ {
+		for s := range fill {
+			fill[s] = segs[s].index[v]
+		}
+		for _, u := range g.InNeighbors(graph.NodeID(v)) {
+			s := int(u) / width
+			segs[s].neigh[fill[s]] = u
+			fill[s]++
+		}
+	}
+	return segs
+}

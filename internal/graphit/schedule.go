@@ -1,0 +1,127 @@
+// Package graphit reproduces the GraphIt DSL the paper evaluates. GraphIt
+// separates what an algorithm computes from how it is executed; here the
+// "what" is written against a small edgeset-apply engine (engine.go) and the
+// "how" is a Schedule value — direction choice, frontier layout, bucket
+// fusion, cache tiling — selected per kernel by a heuristic autotuner in
+// Baseline mode and by per-graph specialization tables in Optimized mode,
+// exactly the split §III-D describes and §V exploits ("it used
+// schedules/optimizations specialized for the size and structure of the
+// graphs for the Optimized case. This was not allowed for the Baseline").
+package graphit
+
+import (
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+)
+
+// Direction is an edge-traversal direction choice.
+type Direction int
+
+// Traversal directions the scheduling language exposes.
+const (
+	// DirOpt switches between push and pull per round using frontier size.
+	DirOpt Direction = iota
+	// PushOnly always traverses from the frontier outward (no per-round
+	// size check — the Optimized-mode Road BFS trick from §V-A).
+	PushOnly
+	// PullOnly always traverses into unvisited vertices.
+	PullOnly
+)
+
+// FrontierLayout selects the vertexset representation.
+type FrontierLayout int
+
+// Frontier layouts.
+const (
+	// SparseList stores frontier vertices as an index list.
+	SparseList FrontierLayout = iota
+	// Bitvector stores the frontier as a bitmap — "advantageous when there
+	// are many active elements" (§V-E).
+	Bitvector
+)
+
+// Schedule is one point in GraphIt's optimization space.
+type Schedule struct {
+	Direction    Direction
+	Frontier     FrontierLayout
+	BucketFusion bool // SSSP: process same-priority buckets without a barrier
+	CacheTiling  bool // PR/CC: segment in-edges into cache-sized tiles
+	ShortCircuit bool // CC label propagation: pointer-jump chains
+	NumSegments  int  // tile count when CacheTiling is set
+}
+
+// autotune returns the Baseline-mode schedule for a kernel: run-time
+// heuristics only, no knowledge of which benchmark graph this is (the paper
+// allowed "existing internal auto-tuners and heuristics").
+func autotune(kernelName string, g *graph.Graph) Schedule {
+	switch kernelName {
+	case "bfs":
+		return Schedule{Direction: DirOpt, Frontier: SparseList}
+	case "sssp":
+		return Schedule{Direction: PushOnly, Frontier: SparseList, BucketFusion: true}
+	case "pr":
+		// Tile when the graph is large enough that the rank vector falls
+		// out of cache.
+		return Schedule{CacheTiling: g.NumNodes() > 1<<15, NumSegments: segmentsFor(g)}
+	case "cc":
+		return Schedule{Direction: DirOpt, Frontier: SparseList, CacheTiling: g.NumNodes() > 1<<15, NumSegments: segmentsFor(g)}
+	case "bc":
+		return Schedule{Direction: DirOpt, Frontier: Bitvector}
+	default: // tc
+		return Schedule{}
+	}
+}
+
+// specialize returns the Optimized-mode schedule: per-graph tables, the way
+// each GraphIt benchmark shipped a tuned schedule per input.
+func specialize(kernelName string, g *graph.Graph, opt kernel.Options) Schedule {
+	s := autotune(kernelName, g)
+	switch kernelName {
+	case "bfs":
+		if opt.GraphName == "Road" {
+			// §V-A: "it does not use direction optimization (always push).
+			// This eliminates the runtime overhead of checking the number
+			// of active vertices."
+			s.Direction = PushOnly
+		}
+	case "cc":
+		if opt.GraphName == "Road" {
+			// §V-C: "label propagation with a short-circuiting approach on
+			// Road as the vertex chains tended to go longer on
+			// high-diameter graphs", ~3x but still far behind Afforest.
+			s.ShortCircuit = true
+		}
+		s.CacheTiling = opt.GraphName == "Twitter" || opt.GraphName == "Kron" || opt.GraphName == "Urand"
+	case "pr":
+		// §V-D: cache optimization from tiling pays on everything except
+		// Web, which "had good locality and did not benefit as much".
+		s.CacheTiling = opt.GraphName != "Web"
+	case "bc":
+		if opt.GraphName == "Road" {
+			// §V-E: "reduces overhead by not using a bitvector for the
+			// frontier on Road".
+			s.Frontier = SparseList
+		}
+	}
+	return s
+}
+
+// scheduleFor picks the schedule under the active rule set.
+func scheduleFor(kernelName string, g *graph.Graph, opt kernel.Options) Schedule {
+	if opt.Mode == kernel.Optimized && opt.GraphName != "" {
+		return specialize(kernelName, g, opt)
+	}
+	return autotune(kernelName, g)
+}
+
+// segmentsFor sizes PR's cache tiles so each segment's source-vertex range
+// fits roughly in a per-core cache slice.
+func segmentsFor(g *graph.Graph) int {
+	const targetVerticesPerSegment = 1 << 15
+	n := int(g.NumNodes())
+	segs := (n + targetVerticesPerSegment - 1) / targetVerticesPerSegment
+	if segs < 1 {
+		segs = 1
+	}
+	return segs
+}

@@ -1,0 +1,119 @@
+package grb
+
+import "gapbench/internal/par"
+
+// DenseMatrix is a k-by-n dense matrix with structural presence per entry —
+// the "dense and 4-by-n" operand §V-E says dominates LAGraph's batched
+// Brandes: one row per BC root, one column per vertex, so all four frontiers
+// advance through single bulk operations.
+type DenseMatrix struct {
+	rows int
+	n    Index
+	val  [][]float64
+	pres []*Bitset
+}
+
+// NewDenseMatrix returns an empty k-by-n dense matrix.
+func NewDenseMatrix(k int, n Index) *DenseMatrix {
+	d := &DenseMatrix{rows: k, n: n, val: make([][]float64, k), pres: make([]*Bitset, k)}
+	for r := 0; r < k; r++ {
+		d.val[r] = make([]float64, n)
+		d.pres[r] = NewBitset(n)
+	}
+	return d
+}
+
+// Rows returns k.
+func (d *DenseMatrix) Rows() int { return d.rows }
+
+// Cols returns n.
+func (d *DenseMatrix) Cols() Index { return d.n }
+
+// Set stores value at (r, c) and marks it present.
+func (d *DenseMatrix) Set(r int, c Index, v float64) {
+	d.val[r][c] = v
+	d.pres[r].Set(c)
+}
+
+// Get returns the value and presence at (r, c).
+func (d *DenseMatrix) Get(r int, c Index) (float64, bool) {
+	return d.val[r][c], d.pres[r].Get(c)
+}
+
+// RowNVals returns the number of present entries in row r.
+func (d *DenseMatrix) RowNVals(r int) Index { return d.pres[r].Count() }
+
+// NVals returns the total number of present entries.
+func (d *DenseMatrix) NVals() Index {
+	var total Index
+	for r := 0; r < d.rows; r++ {
+		total += d.pres[r].Count()
+	}
+	return total
+}
+
+// RowStructure exposes row r's presence bitset (for masks).
+func (d *DenseMatrix) RowStructure(r int) *Bitset { return d.pres[r] }
+
+// RowValues exposes row r's backing values.
+func (d *DenseMatrix) RowValues(r int) []float64 { return d.val[r] }
+
+// DenseMxM computes W<rowMasks> = F * A over the plus_first semiring for a
+// dense k-by-n F: W[r][j] = Σ_{k: F[r][k] present, A[k][j] present} F[r][k],
+// with each output row masked by rowMask(r). This is one batched frontier
+// advance for all k BC roots — the matrix-matrix product §V-E describes.
+// Parallelism is over the columns of the frontier rows (dynamic chunks over
+// present entries).
+func DenseMxM(f *DenseMatrix, a *Matrix, rowMask func(r int) *Mask, workers int) *DenseMatrix {
+	out := NewDenseMatrix(f.rows, f.n)
+	for r := 0; r < f.rows; r++ {
+		mask := rowMask(r)
+		src := f.val[r]
+		pres := f.pres[r]
+		dst := out.val[r]
+		dstPres := out.pres[r]
+		// Gather the present source columns once, then scatter in parallel
+		// with per-worker partials merged serially (same bulk structure as
+		// VxM).
+		var active []Index
+		for c := Index(0); c < f.n; c++ {
+			if pres.Get(c) {
+				active = append(active, c)
+			}
+		}
+		type contrib struct {
+			j Index
+			x float64
+		}
+		nw := workers
+		if nw < 1 {
+			nw = 1
+		}
+		partial := make([][]contrib, nw)
+		par.ForWorker(len(active), workers, func(w, lo, hi int) {
+			var local []contrib
+			for i := lo; i < hi; i++ {
+				k := active[i]
+				x := src[k]
+				cols, _ := a.Row(k)
+				for _, j := range cols {
+					if mask.Allow(j) {
+						local = append(local, contrib{j, x})
+					}
+				}
+			}
+			partial[w] = local
+		})
+		for _, local := range partial {
+			for _, e := range local {
+				if dstPres.Get(e.j) {
+					dst[e.j] += e.x
+				} else {
+					dst[e.j] = e.x
+					dstPres.Set(e.j)
+				}
+			}
+		}
+	}
+	return out
+}

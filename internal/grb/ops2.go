@@ -1,0 +1,154 @@
+package grb
+
+// Element-wise and structural operations completing the GraphBLAS-style
+// surface: eWiseAdd/eWiseMult on vectors, transpose, matrix apply/reduce,
+// diagonal construction, and subvector extraction. The benchmark kernels use
+// a few of these; the rest exist because a GraphBLAS that only runs six
+// algorithms is not a GraphBLAS — downstream users compose new algorithms
+// from exactly these primitives.
+
+// EWiseAdd combines two vectors with union semantics: positions present in
+// either input appear in the output; positions present in both are combined
+// with add.
+func EWiseAdd[T Number](a, b *Vector[T], add func(x, y T) T) *Vector[T] {
+	out := &Vector[T]{n: a.n, format: Bitmap, dense: make([]T, a.n), present: NewBitset(a.n)}
+	a.Iterate(func(i Index, x T) {
+		out.dense[i] = x
+		out.present.Set(i)
+	})
+	b.Iterate(func(i Index, y T) {
+		if out.present.Get(i) {
+			out.dense[i] = add(out.dense[i], y)
+		} else {
+			out.dense[i] = y
+			out.present.Set(i)
+		}
+	})
+	return out
+}
+
+// EWiseMult combines two vectors with intersection semantics: only positions
+// present in both inputs appear, combined with mult.
+func EWiseMult[T Number](a, b *Vector[T], mult func(x, y T) T) *Vector[T] {
+	out := &Vector[T]{n: a.n, format: Bitmap, dense: make([]T, a.n), present: NewBitset(a.n)}
+	bb := b.ToBitmap()
+	a.Iterate(func(i Index, x T) {
+		if bb.present.Get(i) {
+			out.dense[i] = mult(x, bb.dense[i])
+			out.present.Set(i)
+		}
+	})
+	return out
+}
+
+// Transpose returns A' as a new CSR matrix (GrB_transpose materialized; the
+// LAGraph_Graph convention of caching A' at load time builds on this).
+func (m *Matrix) Transpose() *Matrix {
+	t := &Matrix{
+		nrows:  m.ncols,
+		ncols:  m.nrows,
+		rowPtr: make([]Index, m.ncols+1),
+		colInd: make([]Index, m.NVals()),
+	}
+	if m.weight != nil {
+		t.weight = make([]int32, m.NVals())
+	}
+	for _, c := range m.colInd {
+		t.rowPtr[c+1]++
+	}
+	for i := Index(0); i < m.ncols; i++ {
+		t.rowPtr[i+1] += t.rowPtr[i]
+	}
+	fill := make([]Index, m.ncols)
+	copy(fill, t.rowPtr[:m.ncols])
+	for r := Index(0); r < m.nrows; r++ {
+		cols, ws := m.Row(r)
+		for i, c := range cols {
+			pos := fill[c]
+			fill[c]++
+			t.colInd[pos] = r
+			if ws != nil {
+				t.weight[pos] = ws[i]
+			}
+		}
+	}
+	return t
+}
+
+// ApplyWeights returns a copy of the matrix with every stored weight passed
+// through fn (GrB_apply on values; structural matrices are returned
+// unchanged except for the copy).
+func (m *Matrix) ApplyWeights(fn func(w int32) int32) *Matrix {
+	out := &Matrix{
+		nrows:  m.nrows,
+		ncols:  m.ncols,
+		rowPtr: append([]Index(nil), m.rowPtr...),
+		colInd: append([]Index(nil), m.colInd...),
+	}
+	if m.weight != nil {
+		out.weight = make([]int32, len(m.weight))
+		for i, w := range m.weight {
+			out.weight[i] = fn(w)
+		}
+	}
+	return out
+}
+
+// RowDegrees returns each row's entry count as a full vector — the
+// GrB_reduce-by-row over the structural PLUS monoid that PageRank divides
+// by.
+func (m *Matrix) RowDegrees() *Vector[int64] {
+	out := NewFull[int64](m.nrows, 0)
+	d := out.Dense()
+	for r := Index(0); r < m.nrows; r++ {
+		d[r] = int64(m.RowDegree(r))
+	}
+	return out
+}
+
+// ReduceMatrixWeights folds every stored weight with the monoid
+// (GrB_reduce to scalar).
+func (m *Matrix) ReduceMatrixWeights(monoid Monoid[int64]) int64 {
+	acc := monoid.Identity
+	if m.weight == nil {
+		for range m.colInd {
+			acc = monoid.Op(acc, 1)
+		}
+		return acc
+	}
+	for _, w := range m.weight {
+		acc = monoid.Op(acc, int64(w))
+	}
+	return acc
+}
+
+// Diag builds a diagonal matrix from a vector's stored entries, with the
+// entry values as weights (GrB_Matrix_diag).
+func Diag(v *Vector[int32]) *Matrix {
+	n := v.Size()
+	m := &Matrix{nrows: n, ncols: n, rowPtr: make([]Index, n+1)}
+	v.Iterate(func(i Index, x int32) {
+		m.colInd = append(m.colInd, i)
+		m.weight = append(m.weight, x)
+	})
+	for _, c := range m.colInd {
+		m.rowPtr[c+1]++
+	}
+	for i := Index(0); i < n; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m
+}
+
+// ExtractSubvector gathers v at the given indices into a sparse vector of
+// the same length, keeping only present entries (GrB_extract with an index
+// list).
+func ExtractSubvector[T Number](v *Vector[T], indices []Index) *Vector[T] {
+	out := NewSparse[T](v.n)
+	for _, i := range indices {
+		if x, ok := v.Extract(i); ok {
+			out.SetElement(i, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,5 @@
+package kernel
+
+import "runtime"
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,367 @@
+package lagraph
+
+import (
+	"math"
+
+	"gapbench/internal/grb"
+	"gapbench/internal/kernel"
+)
+
+// bfsParents is the LAGraph direction-optimizing BFS of §III-A: the push
+// step is q'<!pi> = q'*A over the any_secondi semiring, the pull step is
+// q<!pi> = A'*q, followed by the masked assignment pi<q> = q. The vector q
+// is converted to a sparse list for pushing and a bitmap for pulling, with
+// the conversions inside the timed region.
+func bfsParents(m *matrices, src grb.Index, workers int) *grb.Vector[int64] {
+	n := m.a.NRows()
+	s := grb.AnySecondi()
+	// pi starts in bitmap format: one entry (the source, its own parent).
+	pi := grb.NewSparse[int64](n).ToBitmap()
+	pi.SetElement(src, src)
+	q := grb.NewSparse[int64](n)
+	q.SetElement(src, src)
+
+	for q.NVals() > 0 {
+		notVisited := grb.NewMask(pi.Structure(), true)
+		// Direction heuristic: pull when the frontier covers a sizeable
+		// fraction of the vertices, push otherwise.
+		if q.NVals() > n/32 {
+			q = grb.MxV(m.at, q, s, notVisited, workers)
+		} else {
+			q = grb.VxM(q, m.a, s, notVisited, workers)
+		}
+		grb.AssignMasked(pi, q, grb.NewMask(q.Structure(), false))
+	}
+	return pi
+}
+
+// deltaStepping is the LAGraph min-plus delta-stepping SSSP. Each bucket is
+// extracted from the full distance vector with a select (an O(n) scan per
+// bucket — the structural cost that makes GraphBLAS SSSP collapse on Road,
+// §V-B), then relaxed to a fixed point with masked min-plus products.
+func deltaStepping(aw *grb.Matrix, src grb.Index, delta kernel.Dist, workers int) *grb.Vector[int32] {
+	n := aw.NRows()
+	s := grb.MinPlus()
+	t := grb.NewFull[int32](n, kernel.Inf)
+	t.SetElement(src, 0)
+	dense := t.Dense()
+
+	for b := int32(0); ; {
+		lo := b * delta
+		hi := lo + delta
+		tm := grb.SelectRange(t, lo, hi)
+		if tm.NVals() == 0 {
+			// Skip ahead to the next occupied bucket, if any.
+			next := int32(math.MaxInt32)
+			for _, d := range dense {
+				if d >= hi && d < next {
+					next = d
+				}
+			}
+			if next == math.MaxInt32 {
+				break
+			}
+			b = next / delta
+			continue
+		}
+		// Relax this bucket to a fixed point.
+		for tm.NVals() > 0 {
+			relaxed := grb.VxM(tm, aw, s, nil, workers)
+			improvedInBucket := grb.NewSparse[int32](n)
+			relaxed.Iterate(func(j grb.Index, x int32) {
+				if x < dense[j] {
+					dense[j] = x
+					if x >= lo && x < hi {
+						improvedInBucket.SetElement(j, x)
+					}
+				}
+			})
+			tm = improvedInBucket
+		}
+		b++
+	}
+	return t
+}
+
+// pagerank is LAGraph's PR: full-vector operations only. The structural
+// plus_first SpMV touches only the adjacency pattern; contributions are
+// prescaled by out-degree, so this is exactly the paper's "plus-second"
+// formulation under this package's operand orientation.
+func pagerank(m *matrices, workers int) *grb.Vector[float64] {
+	n := m.at.NRows()
+	if n == 0 {
+		return grb.NewFull[float64](0, 0)
+	}
+	s := grb.PlusFirst()
+	base := (1 - kernel.PRDamping) / float64(n)
+	r := grb.NewFull(n, 1/float64(n))
+	w := grb.NewFull[float64](n, 0)
+
+	for it := 0; it < kernel.PRMaxIters; it++ {
+		rd := r.Dense()
+		wd := w.Dense()
+		dangling := 0.0
+		for i := grb.Index(0); i < n; i++ {
+			if m.degree[i] > 0 {
+				wd[i] = rd[i] / m.degree[i]
+			} else {
+				wd[i] = 0
+				dangling += rd[i]
+			}
+		}
+		danglingShare := kernel.PRDamping * dangling / float64(n)
+		next := grb.MxVFull(m.at, w, s, workers)
+		nd := next.Dense()
+		var diff float64
+		for i := grb.Index(0); i < n; i++ {
+			nd[i] = base + danglingShare + kernel.PRDamping*nd[i]
+			diff += math.Abs(nd[i] - rd[i])
+		}
+		r = next
+		if diff < kernel.PRTolerance {
+			break
+		}
+	}
+	return r
+}
+
+// fastSV is the FastSV connected-components algorithm (Zhang, Azad, Hu —
+// §III-A) in GraphBLAS form: each round takes the minimum neighbor label
+// with a min_second product, hooks grandparents with the scatter-min kernel
+// LAGraph had to hand-roll (§V-C), and shortcuts by pointer jumping, until
+// the label vector reaches a fixed point.
+func fastSV(und *grb.Matrix, workers int) *grb.Vector[int64] {
+	n := und.NRows()
+	s := grb.MinFirst()
+	f := grb.NewFull[int64](n, 0)
+	fd := f.Dense()
+	for i := range fd {
+		fd[i] = int64(i)
+	}
+	if n == 0 {
+		return f
+	}
+	gp := append([]int64(nil), fd...) // grandparent snapshot
+
+	for {
+		// mngp[v] = min_{u in N(v)} f[u] (isolated vertices keep MaxInt64).
+		mngp := grb.MxVFull(und, f, s, workers)
+		md := mngp.Dense()
+
+		// Stochastic hooking: f[gp[v]] = min(f[gp[v]], mngp[v]).
+		idx := make([]int64, n)
+		val := make([]int64, n)
+		for v := grb.Index(0); v < n; v++ {
+			idx[v] = gp[v]
+			val[v] = md[v]
+		}
+		grb.ScatterMin(f, idx, val)
+
+		// Aggressive hooking + shortcutting: f[v] = min(f[v], mngp[v], gp[v]).
+		for v := grb.Index(0); v < n; v++ {
+			x := fd[v]
+			if md[v] < x {
+				x = md[v]
+			}
+			if gp[v] < x {
+				x = gp[v]
+			}
+			fd[v] = x
+		}
+
+		// New grandparents; converged when they stop changing.
+		changed := false
+		for v := grb.Index(0); v < n; v++ {
+			ng := fd[fd[v]]
+			if ng != gp[v] {
+				changed = true
+			}
+			gp[v] = ng
+		}
+		// Pointer jump once per round (FastSV's shortcut step).
+		for v := grb.Index(0); v < n; v++ {
+			fd[v] = gp[v]
+		}
+		if !changed {
+			break
+		}
+	}
+	return f
+}
+
+// betweenness is LAGraph's batch Brandes, batched for real: all roots
+// advance together as one dense k-by-n matrix (§V-E: "most of the
+// operations are matrix-matrix, where one matrix is dense and 4-by-n").
+// The forward sweep is a masked dense-times-sparse product per level that
+// accumulates per-root path counts; the backward sweep runs the same
+// product over A' against the recorded per-root level structures.
+func betweenness(m *matrices, sources []grb.Index, workers int) []float64 {
+	n := m.a.NRows()
+	k := len(sources)
+	scores := make([]float64, n)
+	if n == 0 || k == 0 {
+		return scores
+	}
+
+	// sigma[r] accumulates per-root path counts; visited[r] masks the
+	// frontier; levels[r][d] is the bitset of vertices at depth d.
+	sigma := grb.NewDenseMatrix(k, n)
+	visited := make([]*grb.Bitset, k)
+	levels := make([][]*grb.Bitset, k)
+	frontier := grb.NewDenseMatrix(k, n)
+	for r, src := range sources {
+		visited[r] = grb.NewBitset(n)
+		visited[r].Set(src)
+		sigma.Set(r, src, 1)
+		frontier.Set(r, src, 1)
+		lvl := grb.NewBitset(n)
+		lvl.Set(src)
+		levels[r] = append(levels[r], lvl)
+	}
+
+	// Forward: one batched product per global level until every root's
+	// frontier is empty.
+	for frontier.NVals() > 0 {
+		next := grb.DenseMxM(frontier, m.a, func(r int) *grb.Mask {
+			return grb.NewMask(visited[r], true)
+		}, workers)
+		for r := 0; r < k; r++ {
+			lvl := grb.NewBitset(n)
+			pres := next.RowStructure(r)
+			vals := next.RowValues(r)
+			sv := sigma.RowValues(r)
+			for c := grb.Index(0); c < n; c++ {
+				if pres.Get(c) {
+					sv[c] += vals[c]
+					sigma.RowStructure(r).Set(c)
+					visited[r].Set(c)
+					lvl.Set(c)
+				}
+			}
+			levels[r] = append(levels[r], lvl)
+		}
+		frontier = next
+	}
+
+	// Backward: per global depth (deepest first), one batched product over
+	// A' pushes dependency shares from each root's level-d vertices to its
+	// level-(d-1) parents.
+	maxDepth := 0
+	for r := 0; r < k; r++ {
+		if len(levels[r]) > maxDepth {
+			maxDepth = len(levels[r])
+		}
+	}
+	delta := make([][]float64, k)
+	for r := range delta {
+		delta[r] = make([]float64, n)
+	}
+	for d := maxDepth - 1; d >= 1; d-- {
+		w := grb.NewDenseMatrix(k, n)
+		for r := 0; r < k; r++ {
+			if d >= len(levels[r]) {
+				continue
+			}
+			lvl := levels[r][d]
+			sv := sigma.RowValues(r)
+			for c := grb.Index(0); c < n; c++ {
+				if lvl.Get(c) {
+					w.Set(r, c, (1+delta[r][c])/sv[c])
+				}
+			}
+		}
+		t := grb.DenseMxM(w, m.at, func(r int) *grb.Mask {
+			if d-1 < len(levels[r]) {
+				return grb.NewMask(levels[r][d-1], false)
+			}
+			return grb.NewMask(grb.NewBitset(n), false) // empty: allows nothing
+		}, workers)
+		for r := 0; r < k; r++ {
+			pres := t.RowStructure(r)
+			vals := t.RowValues(r)
+			sv := sigma.RowValues(r)
+			for c := grb.Index(0); c < n; c++ {
+				if pres.Get(c) {
+					delta[r][c] += sv[c] * vals[c]
+				}
+			}
+		}
+	}
+	for r, src := range sources {
+		for v := grb.Index(0); v < n; v++ {
+			if v != src {
+				scores[v] += delta[r][v]
+			}
+		}
+	}
+
+	maxScore := 0.0
+	for _, x := range scores {
+		if x > maxScore {
+			maxScore = x
+		}
+	}
+	if maxScore > 0 {
+		for i := range scores {
+			scores[i] /= maxScore
+		}
+	}
+	return scores
+}
+
+// triangleCount is the LAGraph TC of §III-A: L = tril(A,-1), U = triu(A,1),
+// C<L> = L*U' over plus_pair, then reduce C to a scalar. The value matrix is
+// materialized and then discarded, the unfused cost §V-F quantifies at ~2x.
+func triangleCount(und *grb.Matrix, workers int) int64 {
+	l := und.Tril(-1)
+	u := und.Triu(1)
+	return grb.MxMPlusPairReduce(l, u, workers)
+}
+
+// LocalClustering is an extension algorithm in the LAGraph spirit ("a
+// community effort to collect graph algorithms built on top of the
+// GraphBLAS"): per-vertex local clustering coefficients computed with the
+// same masked L*U' plus_pair machinery as the triangle count. For vertex v,
+// triangles through v are recovered from the per-edge intersection counts of
+// C<L> = L*U': each triangle {a<b<c} contributes its count on edge (c,b) of
+// L, and every triangle touches its three corners once.
+func LocalClustering(und *grb.Matrix, workers int) []float64 {
+	n := und.NRows()
+	l := und.Tril(-1)
+	u := und.Triu(1)
+	_ = workers // the corner attribution below is a serial reduction
+	// Per-vertex triangle counts from the structure of C<L> = L*U': the
+	// intersection of L's row c with U's row b enumerates the triangles
+	// {w, b, c} with w < b < c, and each match credits all three corners.
+	tri := make([]float64, n)
+	for c := grb.Index(0); c < n; c++ {
+		lc, _ := l.Row(c)
+		for _, b := range lc {
+			ub, _ := u.Row(b)
+			i, j := 0, 0
+			for i < len(lc) && j < len(ub) {
+				switch {
+				case lc[i] < ub[j]:
+					i++
+				case lc[i] > ub[j]:
+					j++
+				default:
+					w := lc[i]
+					tri[c]++
+					tri[b]++
+					tri[w]++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	out := make([]float64, n)
+	for v := grb.Index(0); v < n; v++ {
+		d := float64(und.RowDegree(v))
+		if d >= 2 {
+			out[v] = 2 * tri[v] / (d * (d - 1))
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package lagraph
+
+import (
+	"testing"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/graph"
+	"gapbench/internal/grb"
+	"gapbench/internal/kernel"
+	"gapbench/internal/ldbc"
+	"gapbench/internal/verify"
+)
+
+func prepared(t *testing.T, name string, scale int) (*Framework, *graph.Graph, *matrices) {
+	t.Helper()
+	g, err := generate.ByName(name, scale, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New()
+	u := g.Undirected()
+	f.Prepare(g, u)
+	return f, g, f.matrices(g, u)
+}
+
+func TestMatricesCachedPerGraph(t *testing.T) {
+	f, g, m := prepared(t, "Kron", 7)
+	if again := f.matrices(g, nil); again != m {
+		t.Fatal("matrices rebuilt for the same graph")
+	}
+	if m.a.NVals() != g.NumEdges() {
+		t.Fatalf("A nvals = %d, graph edges = %d", m.a.NVals(), g.NumEdges())
+	}
+	if m.at.NVals() != m.a.NVals() {
+		t.Fatal("A' nvals differs from A")
+	}
+	if m.aw.NVals() != m.a.NVals() {
+		t.Fatal("weighted A nvals differs")
+	}
+	for u := int32(0); u < g.NumNodes(); u++ {
+		if m.degree[u] != float64(g.OutDegree(u)) {
+			t.Fatalf("degree[%d] wrong", u)
+		}
+	}
+}
+
+func TestUndirectedMatrixForDirectedGraphs(t *testing.T) {
+	f, g, m := prepared(t, "Twitter", 7)
+	_ = f
+	if !g.Directed() {
+		t.Fatal("twitter should be directed")
+	}
+	if m.und == m.a {
+		t.Fatal("directed graph must get a separate symmetrized matrix")
+	}
+	// The symmetrized matrix must contain both directions of every edge.
+	for u := grb.Index(0); u < m.a.NRows(); u++ {
+		cols, _ := m.a.Row(u)
+		for _, v := range cols {
+			found := false
+			back, _ := m.und.Row(v)
+			for _, w := range back {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing reverse in symmetrized matrix", u, v)
+			}
+		}
+	}
+}
+
+func TestBFSParentsVector(t *testing.T) {
+	_, g, m := prepared(t, "Web", 7)
+	src := grb.Index(0)
+	for g.OutDegree(graph.NodeID(src)) == 0 {
+		src++
+	}
+	pi := bfsParents(m, src, 2)
+	if p, ok := pi.Extract(src); !ok || p != int64(src) {
+		t.Fatalf("source parent = %v,%v", p, ok)
+	}
+	// Convert and verify via the shared checker.
+	out := make([]graph.NodeID, g.NumNodes())
+	for i := range out {
+		out[i] = -1
+	}
+	pi.Iterate(func(i grb.Index, p int64) { out[i] = graph.NodeID(p) })
+	if err := verify.CheckBFS(g, graph.NodeID(src), out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaSteppingAgainstDijkstra(t *testing.T) {
+	_, g, m := prepared(t, "Road", 8)
+	for _, delta := range []kernel.Dist{4, 64, 1024} {
+		dist := deltaStepping(m.aw, 0, delta, 2)
+		if err := verify.CheckSSSP(g, 0, dist.Dense()); err != nil {
+			t.Fatalf("delta=%d: %v", delta, err)
+		}
+	}
+}
+
+func TestFastSVFixedPoint(t *testing.T) {
+	_, g, m := prepared(t, "Kron", 8)
+	f := fastSV(m.und, 2)
+	labels := f.Dense()
+	// Fixed point: every label is a root (f[f[v]] == f[v]) and labels are
+	// minima over components (checked via the oracle).
+	for v := range labels {
+		if labels[labels[v]] != labels[v] {
+			t.Fatalf("label of %d not a root", v)
+		}
+	}
+	out := make([]graph.NodeID, len(labels))
+	for i, l := range labels {
+		out[i] = graph.NodeID(l)
+	}
+	if err := verify.CheckCC(g, out); err != nil {
+		t.Fatal(err)
+	}
+	// FastSV converges to the minimum vertex id per component.
+	comp := verify.Components(g)
+	for v := range labels {
+		if graph.NodeID(labels[v]) != comp[v] {
+			t.Fatalf("label[%d] = %d, want min-id %d", v, labels[v], comp[v])
+		}
+	}
+}
+
+func TestTriangleCountMatchesOracle(t *testing.T) {
+	_, g, m := prepared(t, "Urand", 7)
+	want := verify.Triangles(g)
+	if got := triangleCount(m.und, 2); got != want {
+		t.Fatalf("triangles = %d, want %d", got, want)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	f, g, _ := prepared(t, "Twitter", 7)
+	r := f.PR(g, kernel.Options{Workers: 2})
+	if err := verify.CheckPR(g, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalClusteringMatchesLDBC(t *testing.T) {
+	_, g, m := prepared(t, "Kron", 7)
+	got := LocalClustering(m.und, 2)
+	want := ldbc.LCC(g, 2)
+	for v := range got {
+		if diff := got[v] - want[v]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("lcc[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package lagraph_test
+
+import (
+	"testing"
+
+	"gapbench/internal/lagraph"
+	"gapbench/internal/testutil"
+)
+
+func TestConformance(t *testing.T) {
+	testutil.RunConformance(t, lagraph.New())
+}
+
+func TestDescribe(t *testing.T) {
+	testutil.Describe(t, lagraph.New())
+}

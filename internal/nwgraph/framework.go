@@ -1,0 +1,77 @@
+package nwgraph
+
+import (
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+)
+
+// Framework is the NWGraph reproduction.
+type Framework struct{}
+
+// New returns the NWGraph framework.
+func New() *Framework { return &Framework{} }
+
+// Name implements kernel.Framework.
+func (*Framework) Name() string { return "NWGraph" }
+
+// Attributes returns the Table II row.
+func (*Framework) Attributes() map[string]string {
+	return map[string]string{
+		"Type":                      "header-only library",
+		"Internal Graph Data":       "adjacency list as range of ranges",
+		"Programming Abstraction":   "range-centric w/ tuple edge properties",
+		"Execution Synchronization": "algorithm-specific, level-synchronous",
+		"Intended Users":            "practicing C++ programmers",
+	}
+}
+
+// Algorithms returns the Table III row.
+func (*Framework) Algorithms() kernel.Algorithms {
+	return kernel.Algorithms{
+		BFS:  "Direction-optimizing (simple switch)",
+		SSSP: "Delta-stepping",
+		CC:   "Afforest",
+		PR:   "Gauss-Seidel SpMV",
+		BC:   "Brandes (no direction opt)",
+		TC:   "Order invariant (cyclic rows)",
+	}
+}
+
+var (
+	_ kernel.Framework = (*Framework)(nil)
+	_ kernel.Describer = (*Framework)(nil)
+)
+
+// BFS implements kernel.Framework.
+func (*Framework) BFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID {
+	return BFS(NewCSR(g), src, opt.EffectiveWorkers())
+}
+
+// SSSP implements kernel.Framework.
+func (*Framework) SSSP(g *graph.Graph, src graph.NodeID, opt kernel.Options) []kernel.Dist {
+	delta := opt.Delta
+	if delta <= 0 {
+		delta = 16
+	}
+	return SSSP(NewCSR(g), src, delta, opt.EffectiveWorkers())
+}
+
+// PR implements kernel.Framework.
+func (*Framework) PR(g *graph.Graph, opt kernel.Options) []float64 {
+	return PR(NewCSR(g), opt.EffectiveWorkers())
+}
+
+// CC implements kernel.Framework.
+func (*Framework) CC(g *graph.Graph, opt kernel.Options) []graph.NodeID {
+	return CC(NewCSR(g), g.Directed(), opt.EffectiveWorkers())
+}
+
+// BC implements kernel.Framework.
+func (*Framework) BC(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float64 {
+	return BC(NewCSR(g), sources, opt.EffectiveWorkers())
+}
+
+// TC implements kernel.Framework.
+func (*Framework) TC(g *graph.Graph, opt kernel.Options) int64 {
+	return TC(NewCSR(relabelIfSkewed(g, opt)), opt.EffectiveWorkers())
+}

@@ -1,0 +1,25 @@
+package nwgraph_test
+
+import (
+	"testing"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/nwgraph"
+	"gapbench/internal/testutil"
+)
+
+func TestConformance(t *testing.T) {
+	testutil.RunConformance(t, nwgraph.New())
+}
+
+func TestDescribe(t *testing.T) {
+	testutil.Describe(t, nwgraph.New())
+}
+
+func TestAcrossWorkerCounts(t *testing.T) {
+	g, err := generate.Urand(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.RunKernelAcrossWorkers(t, nwgraph.New(), g)
+}

@@ -1,0 +1,340 @@
+// Package report renders the paper's tables from benchmark results: Table I
+// (graph properties), Tables II/III (framework attributes and algorithm
+// choices), Table IV (fastest times with the winning framework), and Table V
+// (the speedup heat map against the GAP reference, rendered as percentages
+// exactly like the paper). A CSV export mirrors the paper's companion
+// spreadsheet of complete timing data.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gapbench/internal/core"
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+)
+
+// table is a minimal column-aligned text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// TableI renders the graph-property table from computed stats.
+func TableI(names []string, stats []graph.Stats) string {
+	t := &table{header: []string{"Name", "Vertices", "Edges", "Directed", "Degree", "Degree Distribution", "Approx. Diameter"}}
+	for i, name := range names {
+		s := stats[i]
+		dir := "N"
+		if s.Directed {
+			dir = "Y"
+		}
+		t.addRow(name,
+			fmt.Sprintf("%d", s.NumNodes),
+			fmt.Sprintf("%d", s.NumEdges),
+			dir,
+			fmt.Sprintf("%.1f", s.AvgDegree),
+			string(s.Distribution),
+			fmt.Sprintf("%d", s.ApproxDiameter))
+	}
+	return "TABLE I: GRAPHS USED FOR EVALUATION\n" + t.String()
+}
+
+// TableII renders the framework-attribute table.
+func TableII(frameworks []kernel.Framework) string {
+	keys := []string{"Type", "Internal Graph Data", "Programming Abstraction", "Execution Synchronization", "Intended Users"}
+	t := &table{header: append([]string{"Attribute"}, names(frameworks)...)}
+	for _, key := range keys {
+		row := []string{key}
+		for _, f := range frameworks {
+			attr := "-"
+			if d, ok := f.(kernel.Describer); ok {
+				if v := d.Attributes()[key]; v != "" {
+					attr = v
+				}
+			}
+			row = append(row, attr)
+		}
+		t.addRow(row...)
+	}
+	return "TABLE II: MAIN ATTRIBUTES OF FRAMEWORKS CONSIDERED\n" + t.String()
+}
+
+// TableIII renders the per-kernel algorithm-choice table.
+func TableIII(frameworks []kernel.Framework) string {
+	t := &table{header: append([]string{"Task"}, names(frameworks)...)}
+	pick := func(a kernel.Algorithms, k core.Kernel) string {
+		switch k {
+		case core.BFS:
+			return a.BFS
+		case core.SSSP:
+			return a.SSSP
+		case core.CC:
+			return a.CC
+		case core.PR:
+			return a.PR
+		case core.BC:
+			return a.BC
+		default:
+			return a.TC
+		}
+	}
+	for _, k := range core.Kernels {
+		row := []string{string(k)}
+		for _, f := range frameworks {
+			alg := "-"
+			if d, ok := f.(kernel.Describer); ok {
+				alg = pick(d.Algorithms(), k)
+			}
+			row = append(row, alg)
+		}
+		t.addRow(row...)
+	}
+	return "TABLE III: ALGORITHMS USED BY EACH FRAMEWORK\n" + t.String()
+}
+
+// TableIV renders the fastest-time table: per kernel x graph x mode, the
+// minimum time over all frameworks and which framework achieved it (the
+// paper encodes the winner as the cell color; text gets the name).
+func TableIV(results []core.Result, graphs []string) string {
+	var b strings.Builder
+	for _, mode := range []kernel.Mode{kernel.Baseline, kernel.Optimized} {
+		t := &table{header: append([]string{"Kernel"}, graphs...)}
+		any := false
+		for _, k := range core.Kernels {
+			row := []string{string(k)}
+			for _, gname := range graphs {
+				bestSec := -1.0
+				winner := ""
+				for _, r := range results {
+					if r.Kernel != k || r.Graph != gname || r.Mode != mode || !r.Verified || r.Seconds < 0 {
+						continue
+					}
+					if bestSec < 0 || r.Seconds < bestSec {
+						bestSec, winner = r.Seconds, r.Framework
+					}
+				}
+				if bestSec < 0 {
+					row = append(row, "-")
+				} else {
+					any = true
+					row = append(row, fmt.Sprintf("%.4fs [%s]", bestSec, winner))
+				}
+			}
+			t.addRow(row...)
+		}
+		if any {
+			fmt.Fprintf(&b, "TABLE IV (%s): FASTEST TIMES (winner in brackets)\n%s\n", mode, t)
+		}
+	}
+	return b.String()
+}
+
+// TableV renders the speedup heat map: per framework, kernel and graph, the
+// ratio of the GAP reference time to the framework's time as a percentage
+// (100% = parity, >100% faster than GAP), for each mode present.
+func TableV(results []core.Result, graphs []string) string {
+	speedups := core.SpeedupVsReference(results)
+	frameworkOrder := []string{}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.Framework != core.ReferenceName && !seen[r.Framework] {
+			seen[r.Framework] = true
+			frameworkOrder = append(frameworkOrder, r.Framework)
+		}
+	}
+	var b strings.Builder
+	for _, mode := range []kernel.Mode{kernel.Baseline, kernel.Optimized} {
+		t := &table{header: append([]string{"Framework", "Kernel"}, graphs...)}
+		any := false
+		for _, fw := range frameworkOrder {
+			for _, k := range core.Kernels {
+				row := []string{fw, string(k)}
+				found := false
+				for _, gname := range graphs {
+					key := fw + "|" + string(k) + "|" + gname + "|" + mode.String()
+					if ratio, ok := speedups[key]; ok {
+						row = append(row, fmt.Sprintf("%.2f%%", 100*ratio))
+						found = true
+					} else {
+						row = append(row, "-")
+					}
+				}
+				if found {
+					t.addRow(row...)
+					any = true
+				}
+			}
+		}
+		if any {
+			fmt.Fprintf(&b, "TABLE V (%s): SPEEDUP OVER GAP REFERENCE (100%% = parity)\n%s\n", mode, t)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders all results as comma-separated values, the complete-data
+// export the paper links in a footnote.
+func CSV(results []core.Result) string {
+	rows := append([]core.Result(nil), results...)
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		if a.Graph != b.Graph {
+			return a.Graph < b.Graph
+		}
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		return a.Framework < b.Framework
+	})
+	var b strings.Builder
+	b.WriteString("mode,graph,kernel,framework,best_seconds,avg_seconds,stddev_seconds,trials,verified,error\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%.6f,%.6f,%.6f,%d,%t,%q\n",
+			r.Mode, r.Graph, r.Kernel, r.Framework, r.Seconds, r.AvgSeconds, r.StdDev, r.Trials, r.Verified, r.Err)
+	}
+	return b.String()
+}
+
+func names(frameworks []kernel.Framework) []string {
+	out := make([]string, len(frameworks))
+	for i, f := range frameworks {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// MarkdownTableV renders the speedup heat map as a GitHub-flavored Markdown
+// table (one table per mode), for posting results in issues and PRs the way
+// CONTRIBUTING.md asks contributors to.
+func MarkdownTableV(results []core.Result, graphs []string) string {
+	speedups := core.SpeedupVsReference(results)
+	frameworkOrder := []string{}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.Framework != core.ReferenceName && !seen[r.Framework] {
+			seen[r.Framework] = true
+			frameworkOrder = append(frameworkOrder, r.Framework)
+		}
+	}
+	var b strings.Builder
+	for _, mode := range []kernel.Mode{kernel.Baseline, kernel.Optimized} {
+		var rows []string
+		for _, fw := range frameworkOrder {
+			for _, k := range core.Kernels {
+				cells := []string{fw, string(k)}
+				found := false
+				for _, gname := range graphs {
+					key := fw + "|" + string(k) + "|" + gname + "|" + mode.String()
+					if ratio, ok := speedups[key]; ok {
+						cells = append(cells, fmt.Sprintf("%.2f%%", 100*ratio))
+						found = true
+					} else {
+						cells = append(cells, "—")
+					}
+				}
+				if found {
+					rows = append(rows, "| "+strings.Join(cells, " | ")+" |")
+				}
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "### Table V (%s): speedup over the GAP reference\n\n", mode)
+		b.WriteString("| Framework | Kernel | " + strings.Join(graphs, " | ") + " |\n")
+		b.WriteString("|---|---|" + strings.Repeat("---|", len(graphs)) + "\n")
+		for _, row := range rows {
+			b.WriteString(row + "\n")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MarkdownTableIV renders the fastest-time table as Markdown.
+func MarkdownTableIV(results []core.Result, graphs []string) string {
+	var b strings.Builder
+	for _, mode := range []kernel.Mode{kernel.Baseline, kernel.Optimized} {
+		var rows []string
+		for _, k := range core.Kernels {
+			cells := []string{string(k)}
+			found := false
+			for _, gname := range graphs {
+				bestSec := -1.0
+				winner := ""
+				for _, r := range results {
+					if r.Kernel != k || r.Graph != gname || r.Mode != mode || !r.Verified || r.Seconds < 0 {
+						continue
+					}
+					if bestSec < 0 || r.Seconds < bestSec {
+						bestSec, winner = r.Seconds, r.Framework
+					}
+				}
+				if bestSec < 0 {
+					cells = append(cells, "—")
+				} else {
+					cells = append(cells, fmt.Sprintf("%.4fs (**%s**)", bestSec, winner))
+					found = true
+				}
+			}
+			if found {
+				rows = append(rows, "| "+strings.Join(cells, " | ")+" |")
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "### Table IV (%s): fastest times\n\n", mode)
+		b.WriteString("| Kernel | " + strings.Join(graphs, " | ") + " |\n")
+		b.WriteString("|---|" + strings.Repeat("---|", len(graphs)) + "\n")
+		for _, row := range rows {
+			b.WriteString(row + "\n")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

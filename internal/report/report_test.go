@@ -1,0 +1,106 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"gapbench/internal/core"
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+	"gapbench/internal/report"
+)
+
+func sampleResults() []core.Result {
+	return []core.Result{
+		{Framework: "GAP", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Baseline, Seconds: 0.2, AvgSeconds: 0.25, Trials: 2, Verified: true},
+		{Framework: "GKC", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Baseline, Seconds: 0.1, AvgSeconds: 0.1, Trials: 2, Verified: true},
+		{Framework: "Galois", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Baseline, Seconds: 0.4, AvgSeconds: 0.4, Trials: 2, Verified: true},
+		{Framework: "GAP", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Optimized, Seconds: 0.15, AvgSeconds: 0.15, Trials: 2, Verified: true},
+		{Framework: "GKC", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Optimized, Seconds: 0.3, AvgSeconds: 0.3, Trials: 2, Verified: false, Err: "boom"},
+	}
+}
+
+func TestTableI(t *testing.T) {
+	stats := []graph.Stats{{
+		NumNodes: 10, NumEdges: 20, Directed: true, AvgDegree: 2.0,
+		Distribution: graph.DistPower, ApproxDiameter: 3,
+	}}
+	out := report.TableI([]string{"Kron"}, stats)
+	for _, want := range []string{"Kron", "10", "20", "power", "TABLE I"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIAndIII(t *testing.T) {
+	fws := core.Frameworks()
+	ii := report.TableII(fws)
+	for _, want := range []string{"GAP", "SuiteSparse", "Galois", "GraphIt", "GKC", "NWGraph", "sparse linear algebra"} {
+		if !strings.Contains(ii, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	iii := report.TableIII(fws)
+	for _, want := range []string{"Direction-optimizing", "Delta-stepping", "Afforest", "Label Propagation", "FastSV", "Shiloach-Vishkin", "Gauss-Seidel", "Jacobi", "Brandes", "Lee & Low"} {
+		if !strings.Contains(iii, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+}
+
+func TestTableIVPicksWinnerAndSkipsUnverified(t *testing.T) {
+	out := report.TableIV(sampleResults(), []string{"Kron"})
+	if !strings.Contains(out, "0.1000s [GKC]") {
+		t.Errorf("baseline winner wrong:\n%s", out)
+	}
+	// Optimized: GKC failed verification, so GAP wins despite being slower
+	// than the unverified time.
+	if !strings.Contains(out, "0.1500s [GAP]") {
+		t.Errorf("unverified result not excluded:\n%s", out)
+	}
+}
+
+func TestTableVRatios(t *testing.T) {
+	out := report.TableV(sampleResults(), []string{"Kron"})
+	if !strings.Contains(out, "200.00%") { // GKC baseline: 0.2/0.1
+		t.Errorf("missing GKC 200%%:\n%s", out)
+	}
+	if !strings.Contains(out, "50.00%") { // Galois baseline: 0.2/0.4
+		t.Errorf("missing Galois 50%%:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := report.CSV(sampleResults())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("CSV has %d lines, want header+5", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "mode,graph,kernel,framework") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, `"boom"`) {
+		t.Error("CSV missing quoted error")
+	}
+}
+
+func TestMarkdownRenderers(t *testing.T) {
+	res := sampleResults()
+	md := report.MarkdownTableV(res, []string{"Kron"})
+	for _, want := range []string{"### Table V (Baseline)", "| Framework | Kernel | Kron |", "200.00%", "|---|---|---|"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown Table V missing %q:\n%s", want, md)
+		}
+	}
+	md4 := report.MarkdownTableIV(res, []string{"Kron"})
+	for _, want := range []string{"### Table IV (Baseline)", "(**GKC**)"} {
+		if !strings.Contains(md4, want) {
+			t.Errorf("markdown Table IV missing %q:\n%s", want, md4)
+		}
+	}
+	// Unverified Optimized GKC excluded: GAP must win that cell.
+	if !strings.Contains(md4, "0.1500s (**GAP**)") {
+		t.Errorf("markdown Table IV kept unverified result:\n%s", md4)
+	}
+}

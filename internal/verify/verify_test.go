@@ -1,0 +1,256 @@
+package verify_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/graph"
+	"gapbench/internal/kernel"
+	"gapbench/internal/verify"
+)
+
+func buildWeighted(t *testing.T, edges []graph.WEdge, n int32, directed bool) *graph.Graph {
+	t.Helper()
+	g, err := graph.BuildWeighted(edges, graph.BuildOptions{NumNodes: n, Directed: directed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// diamond is 0->1->3, 0->2->3 with distinct weights and an unreachable 4.
+func diamond(t *testing.T) *graph.Graph {
+	return buildWeighted(t, []graph.WEdge{
+		{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 5},
+		{U: 1, V: 3, W: 10}, {U: 2, V: 3, W: 2},
+	}, 5, true)
+}
+
+func TestBFSOracles(t *testing.T) {
+	g := diamond(t)
+	depth := verify.BFSDepths(g, 0)
+	want := []int32{0, 1, 1, 2, -1}
+	for v, d := range want {
+		if depth[v] != d {
+			t.Fatalf("depth[%d] = %d, want %d", v, depth[v], d)
+		}
+	}
+	parent := verify.BFSParents(g, 0)
+	if parent[0] != 0 || parent[4] != -1 {
+		t.Fatalf("parents = %v", parent)
+	}
+	if err := verify.CheckBFS(g, 0, parent); err != nil {
+		t.Fatalf("oracle parents rejected: %v", err)
+	}
+}
+
+func TestCheckBFSRejectsBadTrees(t *testing.T) {
+	g := diamond(t)
+	good := verify.BFSParents(g, 0)
+
+	cases := map[string]func(p []graph.NodeID){
+		"wrong length":      nil,
+		"unreachable claim": func(p []graph.NodeID) { p[4] = 0 },
+		"missing parent":    func(p []graph.NodeID) { p[1] = -1 },
+		"wrong depth":       func(p []graph.NodeID) { p[3] = 0 }, // 0->3 edge does not exist
+		"source not self":   func(p []graph.NodeID) { p[0] = 1 },
+	}
+	for name, mutate := range cases {
+		p := append([]graph.NodeID(nil), good...)
+		if mutate == nil {
+			p = p[:len(p)-1]
+		} else {
+			mutate(p)
+		}
+		if err := verify.CheckBFS(g, 0, p); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDijkstraAndCheckSSSP(t *testing.T) {
+	g := diamond(t)
+	dist := verify.Dijkstra(g, 0)
+	want := []kernel.Dist{0, 1, 5, 7, kernel.Inf}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], d)
+		}
+	}
+	if err := verify.CheckSSSP(g, 0, dist); err != nil {
+		t.Fatalf("oracle distances rejected: %v", err)
+	}
+	bad := append([]kernel.Dist(nil), dist...)
+	bad[3] = 6
+	if err := verify.CheckSSSP(g, 0, bad); err == nil {
+		t.Error("wrong distance accepted")
+	}
+}
+
+func TestComponentsAndCheckCC(t *testing.T) {
+	g := buildWeighted(t, []graph.WEdge{
+		{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1},
+	}, 5, false)
+	labels := verify.Components(g)
+	if labels[0] != labels[1] || labels[2] != labels[3] {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[0] == labels[2] || labels[4] == labels[0] {
+		t.Fatalf("distinct components share labels: %v", labels)
+	}
+	if err := verify.CheckCC(g, labels); err != nil {
+		t.Fatalf("oracle labels rejected: %v", err)
+	}
+	// Any consistent relabeling is fine.
+	relabeled := []graph.NodeID{9, 9, 7, 7, 3}
+	if err := verify.CheckCC(g, relabeled); err != nil {
+		t.Fatalf("consistent relabeling rejected: %v", err)
+	}
+	// Splitting a component is not.
+	if err := verify.CheckCC(g, []graph.NodeID{9, 8, 7, 7, 3}); err == nil {
+		t.Error("split component accepted")
+	}
+	// Merging two components is not.
+	if err := verify.CheckCC(g, []graph.NodeID{9, 9, 9, 9, 3}); err == nil {
+		t.Error("merged components accepted")
+	}
+}
+
+func TestCheckCCDirectedWeak(t *testing.T) {
+	// 0->1, 2->1: weakly one component.
+	g := buildWeighted(t, []graph.WEdge{{U: 0, V: 1, W: 1}, {U: 2, V: 1, W: 1}}, 3, true)
+	if err := verify.CheckCC(g, []graph.NodeID{5, 5, 5}); err != nil {
+		t.Fatalf("weak connectivity not honored: %v", err)
+	}
+}
+
+func TestPageRankOracleAndCheck(t *testing.T) {
+	g, err := generate.Kron(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := verify.PageRank(g, kernel.PRMaxIters, kernel.PRTolerance)
+	if err := verify.CheckPR(g, ranks); err != nil {
+		t.Fatalf("oracle PR rejected: %v", err)
+	}
+	bad := append([]float64(nil), ranks...)
+	bad[0] += 0.2
+	bad[1] -= 0.2
+	if err := verify.CheckPR(g, bad); err == nil {
+		t.Error("perturbed PR accepted")
+	}
+	uniform := make([]float64, len(ranks))
+	for i := range uniform {
+		uniform[i] = 1 / float64(len(uniform))
+	}
+	if err := verify.CheckPR(g, uniform); err == nil {
+		t.Error("unconverged uniform PR accepted")
+	}
+}
+
+func TestBetweennessOracleAndCheck(t *testing.T) {
+	// Path 0-1-2-3: vertex 1 and 2 lie on all long shortest paths.
+	g := buildWeighted(t, []graph.WEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+	}, 4, false)
+	src := []graph.NodeID{0, 3}
+	scores := verify.Betweenness(g, src)
+	if scores[1] != 1 || scores[2] != 1 {
+		t.Fatalf("scores = %v, want middles at 1.0 (normalized)", scores)
+	}
+	if scores[0] != 0 || scores[3] != 0 {
+		t.Fatalf("endpoints scored: %v", scores)
+	}
+	if err := verify.CheckBC(g, src, scores); err != nil {
+		t.Fatalf("oracle BC rejected: %v", err)
+	}
+	bad := append([]float64(nil), scores...)
+	bad[1] = 0.5
+	if err := verify.CheckBC(g, src, bad); err == nil {
+		t.Error("wrong BC accepted")
+	}
+}
+
+func TestTrianglesOracleAndCheck(t *testing.T) {
+	// Two triangles sharing an edge: 0-1-2 and 1-2-3.
+	g := buildWeighted(t, []graph.WEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 1},
+		{U: 1, V: 3, W: 1}, {U: 2, V: 3, W: 1},
+	}, 4, false)
+	if got := verify.Triangles(g); got != 2 {
+		t.Fatalf("triangles = %d, want 2", got)
+	}
+	if err := verify.CheckTC(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckTC(g, 3); err == nil {
+		t.Error("wrong count accepted")
+	}
+}
+
+func TestTrianglesDirectedCountsUndirected(t *testing.T) {
+	// Directed cycle 0->1->2->0 forms one undirected triangle.
+	g := buildWeighted(t, []graph.WEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 0, W: 1},
+	}, 3, true)
+	if got := verify.Triangles(g); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+}
+
+// Property: SSSP distances satisfy the triangle inequality over every edge
+// and equal zero exactly at the source.
+func TestDijkstraTriangleInequality(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := generate.Urand(6, seed)
+		if err != nil {
+			return false
+		}
+		src := graph.NodeID(0)
+		dist := verify.Dijkstra(g, src)
+		if dist[src] != 0 {
+			return false
+		}
+		for u := int32(0); u < g.NumNodes(); u++ {
+			if dist[u] == kernel.Inf {
+				continue
+			}
+			ws := g.OutWeights(u)
+			for i, v := range g.OutNeighbors(u) {
+				if dist[v] > dist[u]+ws[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS depths are within hop-count bounds of Dijkstra distances
+// scaled by weights — specifically, depth <= dist always (weights >= 1).
+func TestDepthLowerBoundsDistance(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := generate.Twitter(6, seed)
+		if err != nil {
+			return false
+		}
+		depth := verify.BFSDepths(g, 0)
+		dist := verify.Dijkstra(g, 0)
+		for v := range depth {
+			if (depth[v] < 0) != (dist[v] == kernel.Inf) {
+				return false // reachability must agree
+			}
+			if depth[v] >= 0 && dist[v] < depth[v] {
+				return false // every hop costs at least 1
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
