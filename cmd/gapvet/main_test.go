@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gapbench/internal/analysis"
+)
+
+// gapvet runs the CLI against the given args and returns exit code, stdout,
+// and stderr.
+func gapvet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// fixtureArgs targets the deliberately broken fixture tree.
+func fixtureArgs(t *testing.T, extra ...string) []string {
+	t.Helper()
+	root, err := analysis.FindModuleRoot("")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	return append(append([]string{"-root", root}, extra...), "cmd/gapvet/testdata/src/...")
+}
+
+// TestGolden locks the full CLI output on the fixture tree: every rule
+// firing at its expected site, the suppressed finding absent, findings
+// sorted, exit code 1.
+func TestGolden(t *testing.T) {
+	code, stdout, stderr := gapvet(t, fixtureArgs(t)...)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if stdout != string(want) {
+		t.Errorf("output does not match %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, stdout, want)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing findings summary: %q", stderr)
+	}
+	if strings.Contains(stdout, "JustifiedSum") || strings.Contains(stdout, "bad.go:30") {
+		t.Errorf("suppressed finding leaked into output:\n%s", stdout)
+	}
+}
+
+// TestRuleDisableFlags checks the per-rule enable/disable flags: disabling a
+// rule removes exactly its findings.
+func TestRuleDisableFlags(t *testing.T) {
+	_, all, _ := gapvet(t, fixtureArgs(t)...)
+	for _, a := range analysis.Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			code, out, _ := gapvet(t, fixtureArgs(t, "-"+a.Name+"=false")...)
+			if strings.Contains(out, "["+a.Name+"]") {
+				t.Errorf("-%s=false still produced %s findings:\n%s", a.Name, a.Name, out)
+			}
+			if code != 1 {
+				t.Errorf("other rules should still fire, exit = %d", code)
+			}
+			// Every other rule's findings must be untouched.
+			for _, line := range strings.Split(strings.TrimSpace(all), "\n") {
+				if !strings.Contains(line, "["+a.Name+"]") && !strings.Contains(out, line) {
+					t.Errorf("disabling %s also dropped %q", a.Name, line)
+				}
+			}
+		})
+	}
+}
+
+// TestAllRulesDisabled is a usage error, not a silent pass.
+func TestAllRulesDisabled(t *testing.T) {
+	var flags []string
+	for _, a := range analysis.Analyzers() {
+		flags = append(flags, "-"+a.Name+"=false")
+	}
+	code, _, stderr := gapvet(t, fixtureArgs(t, flags...)...)
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "all rules disabled") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+// TestListFlag prints the rule catalogue.
+func TestListFlag(t *testing.T) {
+	code, stdout, _ := gapvet(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(stdout, a.Name) || !strings.Contains(stdout, a.Doc) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}
+
+// TestUnknownFlag exits 2 via flag parsing.
+func TestUnknownFlag(t *testing.T) {
+	if code, _, _ := gapvet(t, "-no-such-flag"); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+// TestCleanPackageExitsZero runs gapvet over a package with no findings.
+func TestCleanPackageExitsZero(t *testing.T) {
+	root, err := analysis.FindModuleRoot("")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	code, stdout, stderr := gapvet(t, "-root", root, "internal/verify")
+	if code != 0 {
+		t.Errorf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("unexpected findings: %s", stdout)
+	}
+}

@@ -1,0 +1,32 @@
+// Package galois is a gapvet test fixture (never built): it violates the
+// framework-isolation and par-closure-race rules on purpose, and carries one
+// justified suppression to exercise the //gapvet:ignore path.
+package galois
+
+import (
+	"gapbench/internal/gap"
+	"gapbench/internal/par"
+)
+
+// CrossImport leans on another framework's constructor, which the isolation
+// rule must flag.
+func CrossImport() any { return gap.New() }
+
+// RacySum accumulates into a captured variable from a par closure.
+func RacySum(xs []int64) int64 {
+	var total int64
+	par.For(len(xs), 0, func(i int) {
+		total += xs[i]
+	})
+	return total
+}
+
+// JustifiedSum shows the suppression form; this finding must NOT appear in
+// the golden output.
+func JustifiedSum(xs []int64) int64 {
+	var total int64
+	par.For(len(xs), 1, func(i int) {
+		total += xs[i] //gapvet:ignore par-closure-race -- fixture: single worker, sequential by construction
+	})
+	return total
+}

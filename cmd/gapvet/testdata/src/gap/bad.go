@@ -1,0 +1,10 @@
+// Package gap is a gapvet test fixture (never built): it prints from a
+// kernel package, which the timed-region-purity rule must flag.
+package gap
+
+import "fmt"
+
+// NoisyKernel logs progress from inside what would be a timed region.
+func NoisyKernel(level int) {
+	fmt.Printf("bfs level %d\n", level)
+}

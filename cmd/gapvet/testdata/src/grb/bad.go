@@ -1,0 +1,12 @@
+// Package grb is a gapvet test fixture (never built): it indexes with a
+// 32-bit integer, which the index-width rule must flag.
+package grb
+
+// Degrees uses an int32 loop variable as a slice index.
+func Degrees(n int32) []float64 {
+	out := make([]float64, n)
+	for u := int32(0); u < n; u++ {
+		out[u] = 1
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package analysis is a small, stdlib-only static-analysis engine for this
+// repository, built directly on go/parser, go/ast, and go/types (no
+// golang.org/x/tools dependency). It exists to machine-check the invariants
+// the paper's methodology rests on: the six framework reproductions stay
+// honestly isolated from each other, the shared internal/par substrate is
+// used race-free, GraphBLAS keeps its mandated 64-bit indices, timed kernel
+// code stays free of I/O, and the harness does not drop errors.
+//
+// The cmd/gapvet CLI drives this package; see DESIGN.md's "Static analysis"
+// section for the rule catalogue.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the canonical "file:line: [rule] message"
+// form emitted by gapvet.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule identifier used in output, flags, and
+	// //gapvet:ignore comments.
+	Name string
+	// Doc is a one-line description of the invariant the rule protects.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full rule set in canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		FrameworkIsolation,
+		ParClosureRace,
+		IndexWidth,
+		TimedRegionPurity,
+		UncheckedError,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the given analyzers to the packages, honoring
+// //gapvet:ignore suppressions, and returns the surviving diagnostics
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		sink := func(d Diagnostic) {
+			if !ignores.matches(d) {
+				diags = append(diags, d)
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: sink}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignoreSet records //gapvet:ignore directives per file and line. A
+// directive suppresses matching diagnostics on its own line and on the line
+// immediately following it (so it can sit on the preceding line).
+type ignoreSet map[string]map[int][]string // file -> line -> rules ("" = all)
+
+// collectIgnores scans all comments of a package for ignore directives of
+// the form:
+//
+//	//gapvet:ignore                      suppress every rule here
+//	//gapvet:ignore rule1,rule2          suppress the listed rules
+//	//gapvet:ignore rule -- free text    trailing justification is encouraged
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//gapvet:ignore")
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //gapvet:ignoreXXX is not a directive
+				}
+				// Strip the optional "-- reason" tail.
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				var rules []string
+				for _, r := range strings.Split(rest, ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						rules = append(rules, r)
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int][]string{}
+				}
+				if len(rules) == 0 {
+					rules = []string{""}
+				}
+				set[pos.Filename][pos.Line] = append(set[pos.Filename][pos.Line], rules...)
+			}
+		}
+	}
+	return set
+}
+
+// matches reports whether the diagnostic is suppressed by a directive on
+// its own line or the preceding line.
+func (s ignoreSet) matches(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == "" || rule == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lastSegment returns the final path element of an import path.
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UncheckedError flags calls whose error result is silently dropped in the
+// harness layers: every package under cmd/ and internal/core. The paper's
+// §VI calls for "more formally specified verification and validation
+// procedures" — a harness that ignores an I/O or parse error can publish a
+// table built from a half-read graph. Kernel packages are out of scope (they
+// return values, not errors); tests are out of scope (failures surface
+// through the testing package).
+//
+// The fmt.Print family is exempt: its error return exists for io.Writer
+// plumbing and is idiomatically dropped for terminal output.
+var UncheckedError = &Analyzer{
+	Name: "unchecked-error",
+	Doc:  "cmd/ and internal/core must not drop error returns",
+	Run:  runUncheckedError,
+}
+
+func runUncheckedError(pass *Pass) {
+	pkg := pass.Pkg
+	if !strings.HasPrefix(pkg.Path, pkg.Module+"/cmd/") && pkg.Path != pkg.Module+"/internal/core" {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.DeferStmt:
+				call = st.Call
+			}
+			if call == nil || !returnsError(pkg, call) || exemptFromErrcheck(pkg, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s contains an unchecked error: handle it or suppress with a justified //gapvet:ignore unchecked-error", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's type includes an error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptFromErrcheck allows fmt's printing functions, whose dropped error is
+// idiomatic.
+func exemptFromErrcheck(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return false
+	}
+	return strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")
+}
+
+// callName renders the called expression for the diagnostic message.
+func callName(call *ast.CallExpr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), call.Fun); err != nil {
+		return "call"
+	}
+	return buf.String()
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import "testing"
+
+func TestUncheckedError(t *testing.T) {
+	checkRule(t, UncheckedError, []ruleCase{
+		{
+			name: "dropped error in cmd is flagged",
+			path: "gapbench/cmd/demo",
+			files: map[string]string{"bad.go": `package main
+
+import "os"
+
+func main() {
+	os.Remove("stale.txt")
+}
+`},
+			want: []string{`bad.go:6: [unchecked-error] result of os.Remove contains an unchecked error`},
+		},
+		{
+			name: "dropped multi-return error in core is flagged",
+			path: "gapbench/internal/core",
+			files: map[string]string{"bad.go": `package core
+
+import "os"
+
+func load() {
+	os.Create("out.txt")
+}
+`},
+			want: []string{"result of os.Create contains an unchecked error"},
+		},
+		{
+			name: "deferred and goroutine errors are flagged",
+			path: "gapbench/cmd/demo",
+			files: map[string]string{"bad.go": `package main
+
+import "os"
+
+func run(f *os.File) {
+	defer f.Close()
+	go f.Sync()
+}
+
+func main() {}
+`},
+			want: []string{
+				"result of f.Close contains an unchecked error",
+				"result of f.Sync contains an unchecked error",
+			},
+		},
+		{
+			name: "handled errors and fmt printing are clean",
+			path: "gapbench/cmd/demo",
+			files: map[string]string{"ok.go": `package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := os.Remove("stale.txt"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("done")
+}
+`},
+			want: nil,
+		},
+		{
+			name: "kernel packages are out of scope",
+			path: "gapbench/internal/gap",
+			files: map[string]string{"ok.go": `package gap
+
+import "os"
+
+func sloppy() {
+	os.Remove("stale.txt")
+}
+`},
+			want: nil,
+		},
+	})
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortizes standard-library type-checking across all tests in
+// this package: the source importer checks fmt/sync/... once per process.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+// testLoader returns the shared loader rooted at the module root.
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot("")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("creating loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// loadFixture type-checks an in-memory fixture package.
+func loadFixture(t *testing.T, importPath string, files map[string]string) *Package {
+	t.Helper()
+	pkg, err := testLoader(t).LoadSource(importPath, files)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	return pkg
+}
+
+// runRule applies one analyzer to one fixture and renders the diagnostics.
+func runRule(t *testing.T, a *Analyzer, pkg *Package) []string {
+	t.Helper()
+	var out []string
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// ruleCase is one table entry: a fixture and the diagnostics it must (or
+// must not) produce.
+type ruleCase struct {
+	name  string
+	path  string            // fixture import path
+	files map[string]string // file name -> source
+	want  []string          // substrings that must each match some diagnostic
+}
+
+// checkRule runs the analyzer over a table of fixtures.
+func checkRule(t *testing.T, a *Analyzer, cases []ruleCase) {
+	t.Helper()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runRule(t, a, loadFixture(t, tc.path, tc.files))
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d diagnostics, want %d:\ngot:  %v\nwant: %v", len(got), len(tc.want), got, tc.want)
+			}
+			for i, want := range tc.want {
+				if !strings.Contains(got[i], want) {
+					t.Errorf("diagnostic %d = %q, want substring %q", i, got[i], want)
+				}
+			}
+		})
+	}
+}

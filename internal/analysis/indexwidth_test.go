@@ -1,0 +1,98 @@
+package analysis
+
+import "testing"
+
+func TestIndexWidth(t *testing.T) {
+	checkRule(t, IndexWidth, []ruleCase{
+		{
+			name: "int32 loop variable used as index is flagged",
+			path: "gapbench/internal/lagraph",
+			files: map[string]string{"bad.go": `package lagraph
+
+func Degrees(n int32) []float64 {
+	out := make([]float64, n)
+	for u := int32(0); u < n; u++ {
+		out[u] = 1
+	}
+	return out
+}
+`},
+			want: []string{"bad.go:6: [index-width] 32-bit value of type int32 used as an index"},
+		},
+		{
+			name: "named 32-bit type used as index is flagged",
+			path: "gapbench/internal/grb",
+			files: map[string]string{"bad.go": `package grb
+
+type smallIndex uint32
+
+func Pick(xs []int64, i smallIndex) int64 {
+	return xs[i]
+}
+`},
+			want: []string{"32-bit value of type gapbench/internal/grb.smallIndex used as an index"},
+		},
+		{
+			name: "64-bit indices and int32 values are clean",
+			path: "gapbench/internal/grb",
+			files: map[string]string{"ok.go": `package grb
+
+type Index = int64
+
+func Scale(weights []int32, idx []Index) {
+	for _, i := range idx {
+		weights[i] *= 2
+	}
+}
+
+func Weight(w int32) int32 { return w + 1 }
+`},
+			want: nil,
+		},
+		{
+			name: "other packages may use 32-bit node ids",
+			path: "gapbench/internal/gap",
+			files: map[string]string{"ok.go": `package gap
+
+func Parents(n int32) []int32 {
+	out := make([]int32, n)
+	for u := int32(0); u < n; u++ {
+		out[u] = -1
+	}
+	return out
+}
+`},
+			want: nil,
+		},
+		{
+			name: "generic instantiation with int32 type argument is not an index",
+			path: "gapbench/internal/grb",
+			files: map[string]string{"ok.go": `package grb
+
+type Vector[T any] struct{ data []T }
+
+func NewVector[T any](n int64) *Vector[T] {
+	return &Vector[T]{data: make([]T, n)}
+}
+
+func Build(n int64) *Vector[int32] {
+	return NewVector[int32](n)
+}
+`},
+			want: nil,
+		},
+		{
+			name: "test files are exempt",
+			path: "gapbench/internal/grb",
+			files: map[string]string{
+				"ok.go": `package grb
+`,
+				"x_test.go": `package grb
+
+func pick(xs []int64, i int32) int64 { return xs[i] }
+`,
+			},
+			want: nil,
+		},
+	})
+}

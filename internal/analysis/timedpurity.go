@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// timedPurityPackages are the packages whose non-test code runs inside the
+// benchmark's timed regions: the six framework reproductions registered with
+// internal/core plus the substrates their kernels execute on (par, grb).
+// The harness times f.BFS(...) et al. with time.Now() around the call, so
+// any I/O on these paths lands inside the measurement — the paper's numbers
+// assume kernels compute and nothing else. Printing belongs in cmd/ and
+// internal/report.
+var timedPurityPackages = map[string]bool{
+	"gap":     true,
+	"galois":  true,
+	"graphit": true,
+	"gkc":     true,
+	"lagraph": true,
+	"nwgraph": true,
+	"par":     true,
+	"grb":     true,
+}
+
+// TimedRegionPurity flags I/O calls in timed-kernel packages: every call
+// into package log or package os, the printing functions of package fmt
+// (Print*, Fprint*), and the print/println builtins. Pure formatting
+// (fmt.Sprintf, fmt.Errorf) is allowed.
+var TimedRegionPurity = &Analyzer{
+	Name: "timed-region-purity",
+	Doc:  "kernel packages must not print or touch the OS inside timed regions",
+	Run:  runTimedRegionPurity,
+}
+
+func runTimedRegionPurity(pass *Pass) {
+	pkg := pass.Pkg
+	if !timedPurityPackages[lastSegment(pkg.Path)] {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue // tests are harness, not timed region
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				// The print/println builtins write to stderr.
+				if obj := pkg.Info.Uses[fun]; obj != nil && obj.Parent() == types.Universe &&
+					(fun.Name == "print" || fun.Name == "println") {
+					pass.Reportf(call.Pos(), "builtin %s writes to stderr inside timed kernel package %s: printing belongs in the harness", fun.Name, lastSegment(pkg.Path))
+				}
+			case *ast.SelectorExpr:
+				id, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "log":
+					pass.Reportf(call.Pos(), "call to log.%s inside timed kernel package %s: logging belongs in the harness", fun.Sel.Name, lastSegment(pkg.Path))
+				case "os":
+					pass.Reportf(call.Pos(), "call to os.%s inside timed kernel package %s: OS interaction belongs in the harness", fun.Sel.Name, lastSegment(pkg.Path))
+				case "fmt":
+					if strings.HasPrefix(fun.Sel.Name, "Print") || strings.HasPrefix(fun.Sel.Name, "Fprint") {
+						pass.Reportf(call.Pos(), "call to fmt.%s inside timed kernel package %s: printing belongs in the harness", fun.Sel.Name, lastSegment(pkg.Path))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import "testing"
+
+func TestTimedRegionPurity(t *testing.T) {
+	checkRule(t, TimedRegionPurity, []ruleCase{
+		{
+			name: "printing in a kernel package is flagged",
+			path: "gapbench/internal/gap",
+			files: map[string]string{"bad.go": `package gap
+
+import "fmt"
+
+func BFSDebug(level int) {
+	fmt.Println("level", level)
+	fmt.Printf("at %d\n", level)
+}
+`},
+			want: []string{
+				"bad.go:6: [timed-region-purity] call to fmt.Println inside timed kernel package gap",
+				"bad.go:7: [timed-region-purity] call to fmt.Printf inside timed kernel package gap",
+			},
+		},
+		{
+			name: "log and os calls are flagged",
+			path: "gapbench/internal/par",
+			files: map[string]string{"bad.go": `package par
+
+import (
+	"log"
+	"os"
+)
+
+func Trace() {
+	log.Printf("workers=%d", 4)
+	os.Getenv("GOMAXPROCS")
+}
+`},
+			want: []string{
+				"call to log.Printf inside timed kernel package par",
+				"call to os.Getenv inside timed kernel package par",
+			},
+		},
+		{
+			name: "print builtins are flagged",
+			path: "gapbench/internal/grb",
+			files: map[string]string{"bad.go": `package grb
+
+func Debug(x int64) {
+	println("x =", x)
+}
+`},
+			want: []string{"builtin println writes to stderr inside timed kernel package grb"},
+		},
+		{
+			name: "pure formatting is clean",
+			path: "gapbench/internal/galois",
+			files: map[string]string{"ok.go": `package galois
+
+import "fmt"
+
+func describe(n int) string {
+	return fmt.Sprintf("%d nodes", n)
+}
+
+func fail(n int) error {
+	return fmt.Errorf("bad frontier size %d", n)
+}
+`},
+			want: nil,
+		},
+		{
+			name: "harness packages may print",
+			path: "gapbench/internal/report",
+			files: map[string]string{"ok.go": `package report
+
+import "fmt"
+
+func Show(x int) { fmt.Println(x) }
+`},
+			want: nil,
+		},
+		{
+			name: "kernel test files may print",
+			path: "gapbench/internal/gkc",
+			files: map[string]string{
+				"ok.go": `package gkc
+`,
+				"debug_test.go": `package gkc
+
+import "fmt"
+
+func dump(x int) { fmt.Println(x) }
+`,
+			},
+			want: nil,
+		},
+	})
+}

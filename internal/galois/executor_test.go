@@ -6,9 +6,11 @@ import (
 	"testing"
 
 	"gapbench/internal/graph"
+	"gapbench/internal/testutil"
 )
 
 func TestForEachAsyncProcessesAllInitialWork(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	const n = 10_000
 	initial := make([]graph.NodeID, n)
 	for i := range initial {
@@ -27,6 +29,7 @@ func TestForEachAsyncProcessesAllInitialWork(t *testing.T) {
 }
 
 func TestForEachAsyncProcessesPushes(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// Operator pushes a chain: 0 pushes 1, 1 pushes 2, ... up to limit.
 	const limit = 5000
 	var seen sync.Map
@@ -46,6 +49,7 @@ func TestForEachAsyncProcessesPushes(t *testing.T) {
 }
 
 func TestForEachAsyncFanOut(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// Each item pushes two children to depth 12: 2^13-1 total ops.
 	const depth = 12
 	var count atomic.Int64
@@ -63,6 +67,7 @@ func TestForEachAsyncFanOut(t *testing.T) {
 }
 
 func TestForEachRoundsBarrierOrder(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// A chain where each round holds exactly one item: the barrier between
 	// rounds forces strictly sequential observation order, regardless of
 	// worker count.
@@ -87,6 +92,7 @@ func TestForEachRoundsBarrierOrder(t *testing.T) {
 }
 
 func TestForEachRoundsChainLength(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	var count atomic.Int64
 	const chain = 257 // crosses several chunk boundaries
 	ForEachRounds(3, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
@@ -101,6 +107,7 @@ func TestForEachRoundsChainLength(t *testing.T) {
 }
 
 func TestForEachOrderedQuiescence(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// A diamond of pushes with duplicate paths, guarded the way real
 	// relaxation operators are: only the first claim of an item pushes its
 	// successors. All items must be claimed and the executor must reach
@@ -130,6 +137,7 @@ func TestForEachOrderedQuiescence(t *testing.T) {
 }
 
 func TestForEachOrderedApproximatePriority(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// Single worker: strictly local-first in ascending priority. Seed two
 	// priorities and confirm the low one runs first.
 	var order []graph.NodeID

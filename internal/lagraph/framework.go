@@ -94,9 +94,11 @@ func (f *Framework) matrices(g *graph.Graph, undirected *graph.Graph) *matrices 
 	} else {
 		m.und = m.a
 	}
+	// Indexing stays 64-bit on the GraphBLAS side (the GAP spec's index-width
+	// rule, enforced by gapvet); NodeID narrows only at the graph boundary.
 	m.degree = make([]float64, g.NumNodes())
-	for u := int32(0); u < g.NumNodes(); u++ {
-		m.degree[u] = float64(g.OutDegree(u))
+	for u := range m.degree {
+		m.degree[u] = float64(g.OutDegree(graph.NodeID(u)))
 	}
 	f.cache[g] = m
 	return m

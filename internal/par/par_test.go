@@ -6,9 +6,11 @@ import (
 	"testing/quick"
 
 	"gapbench/internal/par"
+	"gapbench/internal/testutil"
 )
 
 func TestForCoversEveryIndexOnce(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	for _, workers := range []int{0, 1, 3, 16} {
 		for _, n := range []int{0, 1, 7, 1000} {
 			counts := make([]int32, n)
@@ -23,6 +25,7 @@ func TestForCoversEveryIndexOnce(t *testing.T) {
 }
 
 func TestForBlockedPartitions(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	for _, workers := range []int{1, 4, 9} {
 		n := 103
 		covered := make([]int32, n)
@@ -43,6 +46,7 @@ func TestForBlockedPartitions(t *testing.T) {
 }
 
 func TestForDynamicCoversAllChunks(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	n := 1001
 	covered := make([]int32, n)
 	par.ForDynamic(n, 13, 5, func(lo, hi int) {
@@ -64,6 +68,7 @@ func TestForDynamicCoversAllChunks(t *testing.T) {
 }
 
 func TestForCyclicAssignsRoundRobin(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	const n, workers = 20, 4
 	owner := make([]int32, n)
 	par.ForCyclic(n, workers, func(w, i int) { owner[i] = int32(w) })
@@ -75,6 +80,7 @@ func TestForCyclicAssignsRoundRobin(t *testing.T) {
 }
 
 func TestForWorkerRangesDisjointAndComplete(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	const n, workers = 57, 5
 	covered := make([]int32, n)
 	seen := make([]int32, workers)
@@ -97,6 +103,7 @@ func TestForWorkerRangesDisjointAndComplete(t *testing.T) {
 }
 
 func TestReduceInt64(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	for _, workers := range []int{1, 4} {
 		got := par.ReduceInt64(100, workers, func(lo, hi int) int64 {
 			var s int64
@@ -115,6 +122,7 @@ func TestReduceInt64(t *testing.T) {
 }
 
 func TestReduceFloat64(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	got := par.ReduceFloat64(10, 3, func(lo, hi int) float64 { return float64(hi - lo) })
 	if got != 10 {
 		t.Fatalf("sum = %v, want 10", got)
@@ -122,6 +130,7 @@ func TestReduceFloat64(t *testing.T) {
 }
 
 func TestReduceDynamicInt64(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	got := par.ReduceDynamicInt64(1000, 7, 4, func(lo, hi int) int64 {
 		var s int64
 		for i := lo; i < hi; i++ {
@@ -137,6 +146,7 @@ func TestReduceDynamicInt64(t *testing.T) {
 // Property: every reduce variant agrees with a serial sum for arbitrary
 // worker counts.
 func TestReduceProperty(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	f := func(n uint16, workers uint8) bool {
 		nn := int(n % 2048)
 		w := int(workers%8) + 1

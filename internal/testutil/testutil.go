@@ -148,9 +148,16 @@ func GeneratedGraphs(tb testing.TB, scale int) []Case {
 	return cases
 }
 
-// AllGraphs returns crafted plus generated test graphs.
+// AllGraphs returns crafted plus generated test graphs. Under -short (the
+// race-detector smoke tier in scripts/check.sh) only the crafted corner-case
+// graphs run: they exercise every structural edge case in milliseconds,
+// which is what a seconds-budget race sweep needs.
 func AllGraphs(tb testing.TB) []Case {
-	return append(CraftedGraphs(tb), GeneratedGraphs(tb, 8)...)
+	crafted := CraftedGraphs(tb)
+	if testing.Short() {
+		return crafted
+	}
+	return append(crafted, GeneratedGraphs(tb, 8)...)
 }
 
 // Sources picks deterministic test sources for a graph: the first vertex

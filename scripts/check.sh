@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# check.sh — the pre-PR gate (documented in CONTRIBUTING.md).
+#
+# Runs, in order:
+#   1. go build ./...                 everything compiles
+#   2. go vet ./...                   the standard toolchain checks
+#   3. gapvet ./...                   this repo's own invariants (see DESIGN.md)
+#   4. go test ./...                  the full tier-1 suite
+#   5. go test -race -short <tier>    the race-detector smoke tier: the
+#      parallel substrate (par), the most race-prone executor (galois), and
+#      the harness that drives every framework (core), on tiny graphs so the
+#      whole sweep finishes in seconds.
+#
+# Any failure stops the script with a non-zero exit.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+say() { printf '\n== %s\n' "$*"; }
+
+say "go build ./..."
+go build ./...
+
+say "go vet ./..."
+go vet ./...
+
+say "gapvet ./..."
+go run ./cmd/gapvet ./...
+
+say "go test ./..."
+go test ./...
+
+say "race smoke tier (go test -race -short)"
+go test -race -short ./internal/par/... ./internal/galois/... ./internal/core/...
+
+say "all checks passed"
