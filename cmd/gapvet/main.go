@@ -3,11 +3,23 @@
 // and type-checks packages with the standard library alone (go/parser +
 // go/types; no x/tools) and applies the rule set from internal/analysis:
 //
-//	framework-isolation   frameworks must not import each other
-//	par-closure-race      no unsynchronized writes to captured variables in par closures
-//	index-width           grb/lagraph indices must be 64-bit (GAP spec)
-//	timed-region-purity   kernel packages must not do I/O inside timed regions
-//	unchecked-error       cmd/ and internal/core must not drop errors
+//	framework-isolation    frameworks must not import each other
+//	par-closure-race       no unsynchronized writes to captured variables in par closures
+//	index-width            grb/lagraph indices must be 64-bit (GAP spec)
+//	timed-region-purity    kernel packages must not reach I/O inside timed regions,
+//	                       directly or through any call chain
+//	unchecked-error        cmd/ and internal/core must not drop errors
+//	atomic-plain-mix       state accessed via sync/atomic must not also be accessed
+//	                       plainly on a concurrent path (interprocedural)
+//	lock-order             mutexes must be acquired in a consistent global order;
+//	                       ABBA inversions are found across function boundaries
+//	alloc-in-timed-region  no per-element allocation on the parallel hot paths of
+//	                       timed kernel packages
+//
+// The last four are dataflow rules: they run on a module-wide call graph
+// built from per-function fact summaries (see internal/analysis/facts.go),
+// so a violation may be reported in a function that looks innocent on its
+// own — the message names the chain that convicts it.
 //
 // Usage:
 //

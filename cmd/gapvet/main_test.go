@@ -48,7 +48,7 @@ func TestGolden(t *testing.T) {
 	if !strings.Contains(stderr, "finding(s)") {
 		t.Errorf("stderr missing findings summary: %q", stderr)
 	}
-	if strings.Contains(stdout, "JustifiedSum") || strings.Contains(stdout, "bad.go:30") {
+	if strings.Contains(stdout, "JustifiedSum") || strings.Contains(stdout, "galois/bad.go:31") {
 		t.Errorf("suppressed finding leaked into output:\n%s", stdout)
 	}
 }

@@ -6,6 +6,8 @@ package galois
 import (
 	"gapbench/internal/gap"
 	"gapbench/internal/par"
+	"sync"
+	"sync/atomic"
 )
 
 // CrossImport leans on another framework's constructor, which the isolation
@@ -29,4 +31,30 @@ func JustifiedSum(xs []int64) int64 {
 		total += xs[i] //gapvet:ignore par-closure-race -- fixture: single worker, sequential by construction
 	})
 	return total
+}
+
+// Claim marks cells via CAS from one goroutine while reset clears them
+// plainly from another: the plain path is only reachable through the call
+// graph, the cross-function atomic-plain-mix case.
+func Claim(state []int32) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := range state {
+			atomic.CompareAndSwapInt32(&state[i], 0, 1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		reset(state)
+	}()
+	wg.Wait()
+}
+
+// reset looks sequential on its own: no go statement, no par closure.
+func reset(state []int32) {
+	for i := range state {
+		state[i] = 0
+	}
 }

@@ -1,0 +1,33 @@
+// Package locks is a gapvet test fixture (never built): it acquires two
+// mutexes in opposite orders across functions. Forward only reaches the
+// second lock through a helper, so the ABBA inversion is visible only to
+// the interprocedural lock graph (lock-order).
+package locks
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// lockB acquires B on behalf of whoever calls it.
+func lockB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+// Forward holds A and reaches B only through lockB.
+func Forward() {
+	muA.Lock()
+	lockB()
+	muA.Unlock()
+}
+
+// Backward acquires the pair in the opposite order.
+func Backward() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -37,6 +37,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the invariant the rule protects.
 	Doc string
+	// NeedsFacts marks interprocedural rules: Run builds the module-wide
+	// Program (call graph + function summaries) once per invocation and
+	// hands it to the pass when any enabled analyzer sets this.
+	NeedsFacts bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -45,7 +49,11 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Prog is the module-wide fact database (nil unless the analyzer set
+	// NeedsFacts). It spans every package of the Run call, so rules can
+	// follow call chains across package boundaries.
+	Prog   *Program
+	report func(Diagnostic)
 }
 
 // Reportf records a finding at pos.
@@ -57,7 +65,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full rule set in canonical order.
+// Analyzers returns the full rule set in canonical order: the v1 syntactic
+// rules first, then the v2 interprocedural (dataflow-engine) rules.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		FrameworkIsolation,
@@ -65,6 +74,9 @@ func Analyzers() []*Analyzer {
 		IndexWidth,
 		TimedRegionPurity,
 		UncheckedError,
+		AtomicPlainMix,
+		LockOrder,
+		AllocInTimedRegion,
 	}
 }
 
@@ -80,8 +92,16 @@ func ByName(name string) *Analyzer {
 
 // Run applies the given analyzers to the packages, honoring
 // //gapvet:ignore suppressions, and returns the surviving diagnostics
-// sorted by position.
+// sorted by position. When any analyzer needs interprocedural facts, the
+// module-wide Program is built once over all packages and shared.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var prog *Program
+	for _, a := range analyzers {
+		if a.NeedsFacts {
+			prog = BuildProgram(pkgs)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg)
@@ -91,7 +111,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: sink}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, report: sink}
 			a.Run(pass)
 		}
 	}

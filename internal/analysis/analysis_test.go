@@ -110,7 +110,11 @@ func TestAnalyzerRegistry(t *testing.T) {
 	if ByName("no-such-rule") != nil {
 		t.Error("ByName of unknown rule must be nil")
 	}
-	want := []string{"framework-isolation", "par-closure-race", "index-width", "timed-region-purity", "unchecked-error"}
+	want := []string{
+		"framework-isolation", "par-closure-race", "index-width",
+		"timed-region-purity", "unchecked-error",
+		"atomic-plain-mix", "lock-order", "alloc-in-timed-region",
+	}
 	if len(seen) != len(want) {
 		t.Fatalf("expected %d analyzers, got %d", len(want), len(seen))
 	}

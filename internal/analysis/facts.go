@@ -1,0 +1,1003 @@
+package analysis
+
+// facts.go is the interprocedural layer of the engine: it lowers every
+// function of the loaded packages into a flow-light *summary* (calls made,
+// shared-state accesses, allocations, I/O, lock acquisitions) and stitches
+// the summaries into a module-wide call graph. Rules that need to see across
+// function boundaries (atomic-plain-mix, lock-order, alloc-in-timed-region,
+// the transitive half of timed-region-purity) query the resulting Program
+// instead of re-walking ASTs.
+//
+// The engine is deliberately a *summary* dataflow, not an SSA one: facts are
+// sets keyed by coarse variable identities, propagated to a fixpoint over
+// the call graph. That trades alias precision for a stdlib-only
+// implementation that runs in milliseconds over the whole module — the same
+// trade the per-function rules already make.
+//
+// Variable identity (VarKey) is the load-bearing approximation. Three cases:
+//
+//   - package-level variables: exact (by object);
+//   - struct fields: keyed by declaring package + field name + type, so the
+//     same field reached through different receiver objects unifies (that is
+//     what makes "Bitmap.words is CASed in SetAtomic but read plainly in
+//     Get" expressible at all);
+//   - locals and parameters: keyed by package + name + type, so the
+//     `parent []int32` a kernel allocates and the `parent []int32` its
+//     helper mutates unify across the call, without alias analysis.
+//
+// The name/type heuristic can conflate two unrelated variables that share a
+// name and type inside one package; in this codebase's naming discipline
+// that conflation is exactly the intent (dist/parent/comp mean the same
+// array everywhere), and //gapvet:ignore remains the escape hatch.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FuncID names a function or method uniquely across the module, in the form
+// types.Func.FullName produces: "pkg/path.Fn" or "(pkg/path.T).M".
+type FuncID string
+
+// VarKey identifies a shared-state candidate across function boundaries;
+// see the package comment for the three identity classes.
+type VarKey string
+
+// AccessKind classifies one recorded access to a VarKey.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	// AtomicAccess is a read or write made through a sync/atomic function.
+	AtomicAccess AccessKind = iota
+	// PlainRead is an unsynchronized element/field/variable read.
+	PlainRead
+	// PlainWrite is an unsynchronized element/field/variable write (or a
+	// non-atomic address-taking, treated conservatively as a write).
+	PlainWrite
+)
+
+// spawnCtx records where in the goroutine-spawning structure a fact was
+// collected: lexically inside a `go` statement, and/or inside function
+// literals passed as arguments to the listed callees (innermost last). A
+// fact is concurrent when any enclosing callee transitively spawns
+// goroutines (par.For hands its closure to workers, and so does anything
+// built on it).
+type spawnCtx struct {
+	insideGo bool
+	spawners []FuncID
+}
+
+// Access is one recorded shared-state touch.
+type Access struct {
+	Key     VarKey
+	Display string // human name for diagnostics ("parent", "Bitmap.words")
+	Kind    AccessKind
+	Pos     token.Pos
+	ctx     spawnCtx
+}
+
+// CallSite is one statically resolvable call (or a named function passed to
+// a spawning helper, which will be invoked by it).
+type CallSite struct {
+	Callee FuncID
+	Pos    token.Pos
+	ctx    spawnCtx
+	// held lists the lock keys syntactically held at the call, for the
+	// interprocedural half of lock-order.
+	held []VarKey
+}
+
+// AllocSite is one allocation: a make/new/append builtin call or a function
+// literal (closures allocate their capture environment).
+type AllocSite struct {
+	What string // "make", "new", "append", "func literal"
+	Pos  token.Pos
+	ctx  spawnCtx
+	// immediate marks a func literal that is directly consumed by the
+	// enclosing call — passed as an argument or invoked in place (including
+	// via go/defer). Such literals are created once per phase or spawn, not
+	// per element, and alloc-in-timed-region whitelists them.
+	immediate bool
+}
+
+// IOSite is one direct I/O call, in the same catalogue the
+// timed-region-purity rule uses (log.*, os.*, fmt.Print*/Fprint*,
+// print/println builtins).
+type IOSite struct {
+	What string // "log.Printf", "os.Getenv", "builtin println", ...
+	Pos  token.Pos
+}
+
+// LockEdge records "from was held while to was acquired" at Pos.
+type LockEdge struct {
+	From, To               VarKey
+	FromDisplay, ToDisplay string
+	Pos                    token.Pos
+}
+
+// FuncSummary is the per-function fact set the interprocedural rules
+// consume.
+type FuncSummary struct {
+	ID      FuncID
+	PkgPath string
+	Pkg     *Package
+	Name    string // short display name ("tdStep", "(*Bitmap).Set")
+	Pos     token.Pos
+
+	Calls    []CallSite
+	Accesses []Access
+	Allocs   []AllocSite
+	IO       []IOSite
+
+	// LockEdges are intra-function acquisition orderings; cross-function
+	// edges are derived from Calls[i].held x transitive lock sets.
+	LockEdges []LockEdge
+	// Locks maps every lock key this function acquires directly to the
+	// first acquisition site.
+	Locks map[VarKey]token.Pos
+	// lockNames maps lock keys to display names.
+	lockNames map[VarKey]string
+
+	// spawnsGoDirect is true when the body contains a go statement.
+	spawnsGoDirect bool
+}
+
+// ioFact / allocFact are the propagated "this function (transitively)
+// performs X" facts, keeping one representative site plus the immediate
+// callee it was reached through ("" when direct).
+type ioFact struct {
+	What string
+	Pos  token.Pos
+	Via  FuncID
+}
+
+type allocFact struct {
+	What string
+	Pos  token.Pos
+	Via  FuncID
+}
+
+// Program is the module-wide fact database: every function summary, the call
+// graph they induce, and the fixpoint results interprocedural rules query.
+type Program struct {
+	Module string
+	Funcs  map[FuncID]*FuncSummary
+	order  []FuncID // deterministic iteration order
+
+	spawnsGo   map[FuncID]bool // transitively spawns goroutines
+	concurrent map[FuncID]bool // may execute on a spawned goroutine
+	transIO    map[FuncID]*ioFact
+	transAlloc map[FuncID]*allocFact
+	transLocks map[FuncID]map[VarKey]token.Pos
+	lockNames  map[VarKey]string
+}
+
+// BuildProgram summarizes every non-test function of the packages and runs
+// the call-graph fixpoints. Test files are excluded throughout: they are
+// harness, not timed or concurrent kernel code.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{Funcs: map[FuncID]*FuncSummary{}, lockNames: map[VarKey]string{}}
+	if len(pkgs) > 0 {
+		p.Module = pkgs[0].Module
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				s := summarize(pkg, fd)
+				if s != nil {
+					p.Funcs[s.ID] = s
+					for k, n := range s.lockNames {
+						p.lockNames[k] = n
+					}
+				}
+			}
+		}
+	}
+	p.order = make([]FuncID, 0, len(p.Funcs))
+	for id := range p.Funcs {
+		p.order = append(p.order, id)
+	}
+	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+
+	p.fixSpawnsGo()
+	p.fixConcurrent()
+	p.fixTransIO()
+	p.fixTransAlloc()
+	p.fixTransLocks()
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Summarization: one walk per function.
+
+// summarize lowers one function declaration into a FuncSummary.
+func summarize(pkg *Package, fd *ast.FuncDecl) *FuncSummary {
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return nil // broken fixture code; nothing to anchor facts to
+	}
+	s := &FuncSummary{
+		ID:        FuncID(obj.FullName()),
+		PkgPath:   pkg.Path,
+		Pkg:       pkg,
+		Name:      displayFuncName(obj),
+		Pos:       fd.Pos(),
+		Locks:     map[VarKey]token.Pos{},
+		lockNames: map[VarKey]string{},
+	}
+	b := &summaryBuilder{pkg: pkg, s: s}
+	b.walk(fd.Body, nil)
+	return s
+}
+
+// summaryBuilder carries the traversal state for one function.
+type summaryBuilder struct {
+	pkg *Package
+	s   *FuncSummary
+
+	// held is the stack of lock keys syntactically held at the current
+	// point of the (source-ordered) traversal.
+	held []VarKey
+	// skipPlain marks &x operands consumed by sync/atomic calls so the
+	// generic access pass does not double-count them as plain writes.
+	skipPlain map[ast.Expr]bool
+}
+
+// walk traverses n keeping the ancestor stack, recording facts.
+func (b *summaryBuilder) walk(n ast.Node, stack []ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.skipPlain == nil {
+		b.skipPlain = map[ast.Expr]bool{}
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		b.visit(node, stack)
+		stack = append(stack, node)
+		return true
+	})
+}
+
+// visit records the facts observable at one node.
+func (b *summaryBuilder) visit(node ast.Node, stack []ast.Node) {
+	switch n := node.(type) {
+	case *ast.GoStmt:
+		b.s.spawnsGoDirect = true
+	case *ast.CallExpr:
+		b.visitCall(n, stack)
+	case *ast.FuncLit:
+		// The literal itself allocates its capture environment where it is
+		// created; its body is walked with the literal on the stack, so
+		// facts inside it pick up the spawn context.
+		b.record(&b.s.Allocs, AllocSite{What: "func literal", Pos: n.Pos(),
+			ctx: b.spawnContext(stack), immediate: immediateFuncLit(n, stack)})
+	case *ast.IndexExpr:
+		b.visitAccess(n, n.X, stack)
+	case *ast.SelectorExpr:
+		// Field selections only; package selectors and method values are
+		// not state accesses.
+		if v, ok := b.pkg.Info.Uses[n.Sel].(*types.Var); ok && v.IsField() {
+			b.visitFieldAccess(n, v, stack)
+		}
+	case *ast.Ident:
+		// Bare package-level variable reads/writes (locals are only
+		// interesting through index/selector expressions, which the cases
+		// above catch).
+		if v, ok := b.pkg.Info.Uses[n].(*types.Var); ok && !v.IsField() && isPackageLevel(v) {
+			if key, disp, ok := b.rootKey(n); ok {
+				b.recordAccess(key, disp, n, stack)
+			}
+		}
+	}
+}
+
+// visitCall handles the call-shaped fact sources: atomic accesses, lock
+// acquisitions, I/O, allocations, and call-graph edges.
+func (b *summaryBuilder) visitCall(call *ast.CallExpr, stack []ast.Node) {
+	info := b.pkg.Info
+	ctx := b.spawnContext(stack)
+
+	// sync/atomic calls: the &target operand is an atomic access, not a
+	// plain one.
+	if target, ok := atomicCallTarget(info, call); ok {
+		b.skipPlain[target] = true
+		if inner, ok := target.(*ast.UnaryExpr); ok && inner.Op == token.AND {
+			if key, disp, ok2 := b.rootKey(inner.X); ok2 {
+				b.record(&b.s.Accesses, Access{Key: key, Display: disp, Kind: AtomicAccess, Pos: call.Pos(), ctx: ctx})
+			}
+			b.markSkipped(inner.X)
+		}
+		return
+	}
+
+	// Mutex Lock/Unlock tracking (syntactic, source order).
+	if key, disp, op, ok := mutexOp(b.pkg, call); ok {
+		switch op {
+		case "Lock", "RLock", "TryLock":
+			for _, h := range b.held {
+				if h != key {
+					b.s.LockEdges = append(b.s.LockEdges, LockEdge{
+						From: h, To: key,
+						FromDisplay: b.s.lockNames[h], ToDisplay: disp,
+						Pos: call.Pos(),
+					})
+				}
+			}
+			if _, seen := b.s.Locks[key]; !seen {
+				b.s.Locks[key] = call.Pos()
+			}
+			b.s.lockNames[key] = disp
+			if !inDefer(stack) {
+				b.held = append(b.held, key)
+			}
+		case "Unlock", "RUnlock":
+			if inDefer(stack) {
+				break // deferred release: held to function exit
+			}
+			for i := len(b.held) - 1; i >= 0; i-- {
+				if b.held[i] == key {
+					b.held = append(b.held[:i], b.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+
+	// I/O catalogue (shared with timed-region-purity).
+	if what, ok := ioCall(b.pkg, call); ok {
+		b.s.IO = append(b.s.IO, IOSite{What: what, Pos: call.Pos()})
+		return
+	}
+
+	// Allocation builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && obj.Parent() == types.Universe {
+			switch id.Name {
+			case "make", "new", "append":
+				b.record(&b.s.Allocs, AllocSite{What: id.Name, Pos: call.Pos(), ctx: ctx})
+			}
+			return
+		}
+	}
+
+	// Call-graph edge to a statically resolvable module function.
+	if callee, ok := calleeOf(b.pkg, call); ok {
+		b.s.Calls = append(b.s.Calls, CallSite{
+			Callee: callee, Pos: call.Pos(), ctx: ctx,
+			held: append([]VarKey(nil), b.held...),
+		})
+	}
+	// Named module functions passed as arguments will be invoked by the
+	// callee; record them as edges too (the spawn context is resolved during
+	// the concurrency fixpoint via the receiving callee).
+	for _, arg := range call.Args {
+		if fn, ok := funcValueOf(b.pkg, arg); ok {
+			argCtx := ctx
+			if callee, ok2 := calleeOf(b.pkg, call); ok2 {
+				argCtx.spawners = append(append([]FuncID(nil), ctx.spawners...), callee)
+			}
+			b.s.Calls = append(b.s.Calls, CallSite{Callee: fn, Pos: arg.Pos(), ctx: argCtx})
+		}
+	}
+}
+
+// visitAccess records a plain element access rooted at base (an IndexExpr's
+// X), unless it was consumed by an atomic call.
+func (b *summaryBuilder) visitAccess(n ast.Expr, base ast.Expr, stack []ast.Node) {
+	if b.skipPlain[n] {
+		return
+	}
+	key, disp, ok := b.rootKey(base)
+	if !ok {
+		return
+	}
+	b.recordAccess(key, disp, n, stack)
+}
+
+// visitFieldAccess records a plain struct-field access.
+func (b *summaryBuilder) visitFieldAccess(n *ast.SelectorExpr, v *types.Var, stack []ast.Node) {
+	if b.skipPlain[n] {
+		return
+	}
+	key, disp := fieldKey(v)
+	b.recordAccess(key, disp, n, stack)
+}
+
+// recordAccess classifies an access expression as read or write from its
+// ancestor context and records it.
+func (b *summaryBuilder) recordAccess(key VarKey, disp string, e ast.Expr, stack []ast.Node) {
+	kind := PlainRead
+	if isWriteContext(e, stack) {
+		kind = PlainWrite
+	}
+	b.record(&b.s.Accesses, Access{Key: key, Display: disp, Kind: kind, Pos: e.Pos(), ctx: b.spawnContext(stack)})
+}
+
+// record appends, in source order (ast.Inspect visits in position order).
+func (b *summaryBuilder) record(dst any, v any) {
+	switch d := dst.(type) {
+	case *[]Access:
+		*d = append(*d, v.(Access))
+	case *[]AllocSite:
+		*d = append(*d, v.(AllocSite))
+	}
+}
+
+// markSkipped suppresses plain-access recording for e and its nested
+// index/selector spine (the atomic pass already owns it).
+func (b *summaryBuilder) markSkipped(e ast.Expr) {
+	for {
+		b.skipPlain[e] = true
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return
+		}
+	}
+}
+
+// spawnContext derives the goroutine-spawning context of the current node
+// from the ancestor stack: enclosing go statements and function literals
+// passed as call arguments.
+func (b *summaryBuilder) spawnContext(stack []ast.Node) spawnCtx {
+	var ctx spawnCtx
+	for i, n := range stack {
+		switch t := n.(type) {
+		case *ast.GoStmt:
+			ctx.insideGo = true
+		case *ast.FuncLit:
+			// Is this literal an argument of an enclosing call?
+			if i > 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok {
+					for _, arg := range call.Args {
+						if arg == n {
+							if callee, ok2 := calleeOf(b.pkg, call); ok2 {
+								ctx.spawners = append(ctx.spawners, callee)
+							}
+							break
+						}
+					}
+				}
+			}
+			_ = t
+		}
+	}
+	return ctx
+}
+
+// ---------------------------------------------------------------------------
+// Identity helpers.
+
+// rootKey resolves the root variable of an lvalue-ish expression to a
+// VarKey plus a display name.
+func (b *summaryBuilder) rootKey(e ast.Expr) (VarKey, string, bool) {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			if v, ok := b.pkg.Info.Uses[t.Sel].(*types.Var); ok {
+				if v.IsField() {
+					k, d := fieldKey(v)
+					return k, d, true
+				}
+				if isPackageLevel(v) {
+					return VarKey("pkgvar:" + v.Pkg().Path() + "." + v.Name()), v.Name(), true
+				}
+			}
+			return "", "", false
+		case *ast.Ident:
+			v, ok := b.pkg.Info.Uses[t].(*types.Var)
+			if !ok {
+				if v, ok = b.pkg.Info.Defs[t].(*types.Var); !ok {
+					return "", "", false
+				}
+			}
+			if v.IsField() {
+				k, d := fieldKey(v)
+				return k, d, true
+			}
+			if isPackageLevel(v) {
+				return VarKey("pkgvar:" + v.Pkg().Path() + "." + v.Name()), v.Name(), true
+			}
+			// Local or parameter: name+type identity within the package.
+			return VarKey("local:" + b.pkg.Path + ":" + v.Name() + ":" + types.TypeString(v.Type(), nil)), v.Name(), true
+		default:
+			return "", "", false
+		}
+	}
+}
+
+// fieldKey keys a struct field by declaring package, name, and type.
+func fieldKey(v *types.Var) (VarKey, string) {
+	pkgPath := ""
+	if v.Pkg() != nil {
+		pkgPath = v.Pkg().Path()
+	}
+	return VarKey("field:" + pkgPath + "." + v.Name() + ":" + types.TypeString(v.Type(), nil)),
+		lastSegment(pkgPath) + "." + v.Name()
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isWriteContext reports whether e (with the given ancestor stack) is
+// written: assignment LHS, ++/--, range assignment target, or non-atomic
+// address-taking (conservatively a write).
+func isWriteContext(e ast.Expr, stack []ast.Node) bool {
+	child := ast.Node(e)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == child {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == child
+		case *ast.RangeStmt:
+			return p.Key == child || p.Value == child
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && p.X == child
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// atomicCallTarget reports whether call is a sync/atomic package function
+// and returns its pointer argument expression.
+func atomicCallTarget(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return nil, false
+	}
+	if len(call.Args) == 0 {
+		return nil, true
+	}
+	return call.Args[0], true
+}
+
+// mutexOp reports whether call locks or unlocks a sync.Mutex/RWMutex and
+// returns the lock's key, display name, and the method name.
+func mutexOp(pkg *Package, call *ast.CallExpr) (VarKey, string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "Unlock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	b := &summaryBuilder{pkg: pkg}
+	key, disp, ok := b.rootKey(sel.X)
+	if !ok {
+		return "", "", "", false
+	}
+	return key, disp, sel.Sel.Name, true
+}
+
+// ioCall reports whether call is a direct I/O operation from the
+// timed-region-purity catalogue, returning a display name.
+func ioCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[fun]; obj != nil && obj.Parent() == types.Universe &&
+			(fun.Name == "print" || fun.Name == "println") {
+			return "builtin " + fun.Name, true
+		}
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return "", false
+		}
+		switch pn.Imported().Path() {
+		case "log":
+			return "log." + fun.Sel.Name, true
+		case "os":
+			return "os." + fun.Sel.Name, true
+		case "fmt":
+			if strings.HasPrefix(fun.Sel.Name, "Print") || strings.HasPrefix(fun.Sel.Name, "Fprint") {
+				return "fmt." + fun.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// calleeOf resolves a call to a module-internal named function or method.
+func calleeOf(pkg *Package, call *ast.CallExpr) (FuncID, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasPrefix(fn.Pkg().Path(), pkg.Module) {
+		return "", false
+	}
+	return FuncID(fn.FullName()), true
+}
+
+// funcValueOf resolves an expression used as a value to a module function
+// (a named function passed as an argument).
+func funcValueOf(pkg *Package, e ast.Expr) (FuncID, bool) {
+	var obj types.Object
+	switch t := e.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[t]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[t.Sel]
+	default:
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), pkg.Module) {
+		return "", false
+	}
+	return FuncID(fn.FullName()), true
+}
+
+// displayFuncName renders a short human name for diagnostics: "Fn",
+// "(*T).M", qualified with the package's last path segment when the call
+// crosses packages (done at message-format time).
+func displayFuncName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		return "(" + types.TypeString(t, func(p *types.Package) string { return "" }) + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// immediateFuncLit reports whether the literal is directly consumed by its
+// enclosing call: passed as an argument (par.For(n, func...)) or invoked in
+// place (go func(){}(), func(){}()). These are created once per phase or
+// spawn; only literals that are *stored* (assigned, appended, returned) can
+// churn per element on a hot path.
+func immediateFuncLit(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if call.Fun == lit {
+		return true
+	}
+	for _, arg := range call.Args {
+		if arg == lit {
+			return true
+		}
+	}
+	return false
+}
+
+// inDefer reports whether the ancestor stack passes through a defer
+// statement.
+func inDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoints.
+
+// fixSpawnsGo computes which functions transitively spawn goroutines.
+func (p *Program) fixSpawnsGo() {
+	p.spawnsGo = map[FuncID]bool{}
+	for _, id := range p.order {
+		if p.Funcs[id].spawnsGoDirect {
+			p.spawnsGo[id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range p.order {
+			if p.spawnsGo[id] {
+				continue
+			}
+			for _, c := range p.Funcs[id].Calls {
+				if p.spawnsGo[c.Callee] {
+					p.spawnsGo[id] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// SpawnsGo reports whether the function transitively spawns goroutines.
+func (p *Program) SpawnsGo(id FuncID) bool { return p.spawnsGo[id] }
+
+// concurrentCtx reports whether facts collected under ctx may execute on a
+// spawned goroutine.
+func (p *Program) concurrentCtx(ctx spawnCtx) bool {
+	if ctx.insideGo {
+		return true
+	}
+	for _, s := range ctx.spawners {
+		if p.spawnsGo[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// fixConcurrent computes the set of functions that may execute on a spawned
+// goroutine: called from a concurrent context, or called (transitively) by
+// such a function.
+func (p *Program) fixConcurrent() {
+	p.concurrent = map[FuncID]bool{}
+	for _, id := range p.order {
+		for _, c := range p.Funcs[id].Calls {
+			if p.concurrentCtx(c.ctx) {
+				p.concurrent[c.Callee] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range p.order {
+			if !p.concurrent[id] {
+				continue
+			}
+			for _, c := range p.Funcs[id].Calls {
+				if !p.concurrent[c.Callee] {
+					p.concurrent[c.Callee] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// ConcurrentFunc reports whether the function may run on a spawned
+// goroutine.
+func (p *Program) ConcurrentFunc(id FuncID) bool { return p.concurrent[id] }
+
+// ConcurrentAccess reports whether the access may race: it is lexically
+// inside a spawning construct, or its enclosing function is reachable from
+// one.
+func (p *Program) ConcurrentAccess(owner *FuncSummary, a Access) bool {
+	return p.concurrentCtx(a.ctx) || p.concurrent[owner.ID]
+}
+
+// fixTransIO propagates "performs I/O" facts up the call graph, keeping the
+// representative site with the smallest position for determinism.
+func (p *Program) fixTransIO() {
+	p.transIO = map[FuncID]*ioFact{}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range p.order {
+			s := p.Funcs[id]
+			best := p.transIO[id]
+			for _, io := range s.IO {
+				best = minIOFact(best, &ioFact{What: io.What, Pos: io.Pos})
+			}
+			for _, c := range s.Calls {
+				if f := p.transIO[c.Callee]; f != nil {
+					best = minIOFact(best, &ioFact{What: f.What, Pos: f.Pos, Via: c.Callee})
+				}
+			}
+			if best != p.transIO[id] && (p.transIO[id] == nil || best.Pos < p.transIO[id].Pos) {
+				p.transIO[id] = best
+				changed = true
+			}
+		}
+	}
+}
+
+func minIOFact(a, b *ioFact) *ioFact {
+	if a == nil || (b != nil && b.Pos < a.Pos) {
+		return b
+	}
+	return a
+}
+
+// TransIO returns the representative I/O fact the function (transitively)
+// reaches, or nil.
+func (p *Program) TransIO(id FuncID) (what string, pos token.Pos, ok bool) {
+	if f := p.transIO[id]; f != nil {
+		return f.What, f.Pos, true
+	}
+	return "", token.NoPos, false
+}
+
+// fixTransAlloc propagates "allocates" facts up the call graph. Only make
+// and new propagate across calls (append and closure creation are too
+// pervasive to chase transitively without drowning the signal); all four
+// count at the direct site.
+func (p *Program) fixTransAlloc() {
+	p.transAlloc = map[FuncID]*allocFact{}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range p.order {
+			s := p.Funcs[id]
+			best := p.transAlloc[id]
+			for _, a := range s.Allocs {
+				if a.What == "make" || a.What == "new" {
+					best = minAllocFact(best, &allocFact{What: a.What, Pos: a.Pos})
+				}
+			}
+			for _, c := range s.Calls {
+				if f := p.transAlloc[c.Callee]; f != nil {
+					best = minAllocFact(best, &allocFact{What: f.What, Pos: f.Pos, Via: c.Callee})
+				}
+			}
+			if best != p.transAlloc[id] && (p.transAlloc[id] == nil || best.Pos < p.transAlloc[id].Pos) {
+				p.transAlloc[id] = best
+				changed = true
+			}
+		}
+	}
+}
+
+func minAllocFact(a, b *allocFact) *allocFact {
+	if a == nil || (b != nil && b.Pos < a.Pos) {
+		return b
+	}
+	return a
+}
+
+// TransAlloc returns the representative allocation the function
+// (transitively) performs, or ok=false.
+func (p *Program) TransAlloc(id FuncID) (what string, pos token.Pos, ok bool) {
+	if f := p.transAlloc[id]; f != nil {
+		return f.What, f.Pos, true
+	}
+	return "", token.NoPos, false
+}
+
+// fixTransLocks propagates "may acquire lock K" sets up the call graph.
+func (p *Program) fixTransLocks() {
+	p.transLocks = map[FuncID]map[VarKey]token.Pos{}
+	for _, id := range p.order {
+		m := map[VarKey]token.Pos{}
+		for k, pos := range p.Funcs[id].Locks {
+			m[k] = pos
+		}
+		p.transLocks[id] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range p.order {
+			m := p.transLocks[id]
+			for _, c := range p.Funcs[id].Calls {
+				for k, pos := range p.transLocks[c.Callee] {
+					if _, ok := m[k]; !ok {
+						m[k] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// AllLockEdges assembles the module-wide lock acquisition graph: direct
+// intra-function edges plus edges induced by calls made while holding a
+// lock into functions that (transitively) acquire another.
+func (p *Program) AllLockEdges() []LockEdge {
+	var edges []LockEdge
+	for _, id := range p.order {
+		s := p.Funcs[id]
+		edges = append(edges, s.LockEdges...)
+		for _, c := range s.Calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for k := range p.transLocks[c.Callee] {
+				for _, h := range c.held {
+					if h == k {
+						continue
+					}
+					edges = append(edges, LockEdge{
+						From: h, To: k,
+						FromDisplay: p.lockNames[h], ToDisplay: p.lockNames[k],
+						Pos: c.Pos,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Pos != edges[j].Pos {
+			return edges[i].Pos < edges[j].Pos
+		}
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+// FuncsInPackage returns the summaries of functions declared in the given
+// package, in deterministic order.
+func (p *Program) FuncsInPackage(pkgPath string) []*FuncSummary {
+	var out []*FuncSummary
+	for _, id := range p.order {
+		if s := p.Funcs[id]; s.PkgPath == pkgPath {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// ShortName renders a FuncID for diagnostics, trimming the module prefix:
+// "gapbench/internal/graph.NewBitmap" -> "graph.NewBitmap".
+func (p *Program) ShortName(id FuncID) string {
+	s := string(id)
+	if p.Module != "" {
+		s = strings.ReplaceAll(s, p.Module+"/internal/", "")
+		s = strings.ReplaceAll(s, p.Module+"/", "")
+	}
+	return s
+}

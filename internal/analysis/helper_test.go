@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -41,14 +42,58 @@ func loadFixture(t *testing.T, importPath string, files map[string]string) *Pack
 	return pkg
 }
 
+// parOnce caches the real internal/par package: the dataflow rules learn
+// "par.For spawns goroutines" from its summaries, so spawn-aware fixtures
+// must be analyzed alongside it.
+var (
+	parOnce sync.Once
+	parPkg  *Package
+	parErr  error
+)
+
+func parPackage(t *testing.T) *Package {
+	t.Helper()
+	l := testLoader(t)
+	parOnce.Do(func() {
+		parPkg, parErr = l.LoadDir(filepath.Join(l.Root, "internal", "par"))
+	})
+	if parErr != nil {
+		t.Fatalf("loading internal/par: %v", parErr)
+	}
+	return parPkg
+}
+
 // runRule applies one analyzer to one fixture and renders the diagnostics.
+// The real internal/par rides along in the Program (it is finding-free, so
+// it contributes summaries, never diagnostics).
 func runRule(t *testing.T, a *Analyzer, pkg *Package) []string {
 	t.Helper()
+	return runRuleOn(t, a, pkg, parPackage(t))
+}
+
+// runRuleOn applies one analyzer across several packages at once, so tests
+// can exercise cross-package transitive facts (an in-memory fixture calling
+// into the real on-disk internal/graph, say). Diagnostics are concatenated
+// in the packages' order.
+func runRuleOn(t *testing.T, a *Analyzer, pkgs ...*Package) []string {
+	t.Helper()
 	var out []string
-	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+	for _, d := range Run(pkgs, []*Analyzer{a}) {
 		out = append(out, d.String())
 	}
 	return out
+}
+
+// loadRealDir loads one of the module's real on-disk packages (path relative
+// to the module root, e.g. "internal/graph").
+func loadRealDir(t *testing.T, rel string) *Package {
+	t.Helper()
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join(l.Root, filepath.FromSlash(rel)))
+	if err != nil {
+		t.Fatalf("loading %s: %v", rel, err)
+	}
+	return pkg
 }
 
 // ruleCase is one table entry: a fixture and the diagnostics it must (or

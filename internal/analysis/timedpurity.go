@@ -28,10 +28,19 @@ var timedPurityPackages = map[string]bool{
 // into package log or package os, the printing functions of package fmt
 // (Print*, Fprint*), and the print/println builtins. Pure formatting
 // (fmt.Sprintf, fmt.Errorf) is allowed.
+//
+// The rule is transitive: besides direct I/O sites, it reports call sites
+// in kernel packages whose callee *reaches* I/O through any call chain the
+// module-wide call graph can resolve — a kernel calling a helper in
+// internal/graph that spills to os.Stderr is flagged at the kernel's call
+// site, naming the chain's endpoint. Chains that stay inside timed
+// packages are reported once, at the I/O (or at the first call that leaves
+// the timed set), not at every caller along the chain.
 var TimedRegionPurity = &Analyzer{
-	Name: "timed-region-purity",
-	Doc:  "kernel packages must not print or touch the OS inside timed regions",
-	Run:  runTimedRegionPurity,
+	Name:       "timed-region-purity",
+	Doc:        "kernel packages must not reach I/O (directly or transitively) inside timed regions",
+	NeedsFacts: true,
+	Run:        runTimedRegionPurity,
 }
 
 func runTimedRegionPurity(pass *Pass) {
@@ -39,6 +48,7 @@ func runTimedRegionPurity(pass *Pass) {
 	if !timedPurityPackages[lastSegment(pkg.Path)] {
 		return
 	}
+	runTransitivePurity(pass)
 	for _, f := range pkg.Files {
 		if f.Test {
 			continue // tests are harness, not timed region
@@ -77,5 +87,32 @@ func runTimedRegionPurity(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// runTransitivePurity reports call sites in this timed package whose callee
+// transitively reaches I/O. Callees inside timed packages are skipped: the
+// violation is (or will be) reported where the chain leaves the timed set,
+// or at the I/O site itself.
+func runTransitivePurity(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, s := range prog.FuncsInPackage(pass.Pkg.Path) {
+		for _, c := range s.Calls {
+			callee := prog.Funcs[c.Callee]
+			if callee == nil || timedPurityPackages[lastSegment(callee.PkgPath)] {
+				continue
+			}
+			what, pos, ok := prog.TransIO(c.Callee)
+			if !ok {
+				continue
+			}
+			at := pass.Pkg.Fset.Position(pos)
+			pass.Reportf(c.Pos,
+				"call to %s reaches %s (%s:%d) inside timed kernel package %s: I/O belongs in the harness",
+				prog.ShortName(c.Callee), what, at.Filename, at.Line, lastSegment(pass.Pkg.Path))
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package analysis
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestTimedRegionPurity(t *testing.T) {
 	checkRule(t, TimedRegionPurity, []ruleCase{
@@ -96,4 +99,46 @@ func dump(x int) { fmt.Println(x) }
 			want: nil,
 		},
 	})
+}
+
+// TestTimedRegionPurityTransitive seeds the cross-package chain: a timed
+// kernel calls the real internal/graph loader, which opens files. The
+// finding lands at the kernel's call site and names the chain's endpoint.
+func TestTimedRegionPurityTransitive(t *testing.T) {
+	src := map[string]string{"bad.go": `package gap
+
+import "gapbench/internal/graph"
+
+// Reload does no I/O itself; graph.Load does, further down the chain.
+func Reload(path string) (*graph.Graph, error) {
+	return graph.Load(path)
+}
+`}
+	fixture := loadFixture(t, "gapbench/internal/gap", src)
+	got := runRuleOn(t, TimedRegionPurity, fixture, loadRealDir(t, "internal/graph"))
+	if len(got) != 1 {
+		t.Fatalf("want 1 transitive-purity diagnostic, got %v", got)
+	}
+	for _, want := range []string{"bad.go:7:", "graph.Load", "reaches os.", "inside timed kernel package gap"} {
+		if !strings.Contains(got[0], want) {
+			t.Errorf("diagnostic = %q, want substring %q", got[0], want)
+		}
+	}
+}
+
+// TestTimedRegionPurityTransitiveNegative checks that calling an I/O-free
+// out-of-package helper stays clean.
+func TestTimedRegionPurityTransitiveNegative(t *testing.T) {
+	src := map[string]string{"ok.go": `package gap
+
+import "gapbench/internal/graph"
+
+func Fresh(n int64) *graph.Bitmap {
+	return graph.NewBitmap(n)
+}
+`}
+	fixture := loadFixture(t, "gapbench/internal/gap", src)
+	if got := runRuleOn(t, TimedRegionPurity, fixture, loadRealDir(t, "internal/graph")); len(got) != 0 {
+		t.Fatalf("NewBitmap does no I/O; got %v", got)
+	}
 }

@@ -27,6 +27,7 @@ func brandes(g *graph.Graph, sources []graph.NodeID, workers int, asyncForward b
 	for _, src := range sources {
 		par.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
+				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from the forward phase's CAS on depth
 				depth[i] = -1
 				sigma[i] = 0
 				delta[i] = 0

@@ -96,6 +96,7 @@ func syncBFS(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
 				awake = par.ReduceInt64(int(n), workers, func(lo, hi int) int64 {
 					var count int64
 					for u := lo; u < hi; u++ {
+						//gapvet:ignore atomic-plain-mix -- pull phase: each u writes only parent[u]; barrier-separated from the push phase's CAS
 						if parent[u] >= 0 {
 							continue
 						}

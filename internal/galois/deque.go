@@ -21,6 +21,7 @@ type dequeBuf struct {
 }
 
 func newDequeBuf(capacity int64) *dequeBuf {
+	//gapvet:ignore alloc-in-timed-region -- Chase-Lev growth: capacity doubles, so the copy amortizes to O(1) per push
 	return &dequeBuf{mask: capacity - 1, items: make([]atomic.Pointer[chunk], capacity)}
 }
 

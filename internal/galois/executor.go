@@ -66,6 +66,7 @@ func ForEachAsync(workers int, initial []graph.NodeID, op func(ctx *Ctx, v graph
 			own := deques[w]
 			ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
 			ctx.local.n = 0
+			//gapvet:ignore alloc-in-timed-region -- one spill closure per worker goroutine: per-worker setup, not per-element churn
 			ctx.spill = func(c *chunk) { own.pushBottom(c) }
 			rng := uint64(w)*0x9e3779b97f4a7c15 + 0x853c49e6748fea9b
 			idle := 0
@@ -131,6 +132,7 @@ func ForEachRounds(workers int, initial []graph.NodeID, op func(ctx *Ctx, v grap
 				defer wg.Done()
 				ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
 				ctx.local.n = 0
+				//gapvet:ignore alloc-in-timed-region -- one spill closure per worker goroutine: per-worker setup, not per-element churn
 				ctx.spill = func(c *chunk) { next.put(c) }
 				for {
 					c := frontier.get()

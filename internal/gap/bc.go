@@ -31,6 +31,7 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 	for _, src := range sources {
 		par.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
+				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from bcForward's CAS on depth
 				depth[i] = -1
 				sigma[i] = 0
 				delta[i] = 0
@@ -109,6 +110,7 @@ func bcForward(g *graph.Graph, src graph.NodeID, depth []int32, workers int) [][
 		d := int32(len(levels))
 		mu.reset()
 		par.ForDynamic(len(current), 64, workers, func(lo, hi int) {
+			//gapvet:ignore alloc-in-timed-region -- GAP QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 			local := make([]graph.NodeID, 0, 256)
 			for i := lo; i < hi; i++ {
 				u := current[i]

@@ -79,6 +79,7 @@ func tdStep(g *graph.Graph, parent []graph.NodeID, queue *graph.SlidingQueue, wo
 	frontier := queue.Frontier()
 	var scout atomic.Int64
 	par.ForDynamic(len(frontier), 64, workers, func(lo, hi int) {
+		//gapvet:ignore alloc-in-timed-region -- GAP QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 		local := make([]graph.NodeID, 0, 256)
 		var localScout int64
 		for i := lo; i < hi; i++ {
@@ -111,6 +112,7 @@ func buStep(g *graph.Graph, parent []graph.NodeID, front, next *graph.Bitmap, wo
 	return par.ReduceInt64(n, workers, func(lo, hi int) int64 {
 		var awake int64
 		for u := lo; u < hi; u++ {
+			//gapvet:ignore atomic-plain-mix -- pull phase: each u writes only parent[u]; barrier-separated from tdStep's CAS
 			if parent[u] >= 0 {
 				continue
 			}

@@ -47,6 +47,7 @@ func bfs(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
 				awake = par.ReduceInt64(int(n), workers, func(lo, hi int) int64 {
 					var count int64
 					for u := lo; u < hi; u++ {
+						//gapvet:ignore atomic-plain-mix -- pull phase: each u writes only parent[u]; barrier-separated from the push phase's CAS
 						if parent[u] >= 0 {
 							continue
 						}
@@ -96,6 +97,7 @@ func bfs(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
 			shared := graph.NewSlidingQueue(n)
 			cur := frontier
 			par.ForDynamic(len(cur), 64, workers, func(lo, hi int) {
+				//gapvet:ignore alloc-in-timed-region -- QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 				local := make([]graph.NodeID, 0, localBufferSize)
 				var sc int64
 				for i := lo; i < hi; i++ {

@@ -6,10 +6,12 @@ import (
 
 	"gapbench/internal/generate"
 	"gapbench/internal/graph"
+	"gapbench/internal/testutil"
 	"gapbench/internal/verify"
 )
 
 func TestLeeLowMatchesSerialPrefix(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	for _, name := range []string{"Kron", "Twitter", "Urand"} {
 		g, err := generate.ByName(name, 8, 3)
 		if err != nil {
@@ -27,6 +29,7 @@ func TestLeeLowMatchesSerialPrefix(t *testing.T) {
 }
 
 func TestLeeLowMarkerPath(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// A clique forces every row past the marker threshold.
 	const k = 80 // degree 79 >= markerThreshold (64)
 	var edges []graph.WEdge
@@ -46,6 +49,7 @@ func TestLeeLowMarkerPath(t *testing.T) {
 }
 
 func TestIntersectHelpers(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	x := []graph.NodeID{1, 4, 6, 9}
 	y := []graph.NodeID{2, 4, 9, 12}
 	if got := mergeFwd(x, y); got != 2 {
@@ -60,6 +64,7 @@ func TestIntersectHelpers(t *testing.T) {
 }
 
 func TestHybridSVEquivalentToOracle(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	for _, name := range []string{"Road", "Kron"} {
 		g, err := generate.ByName(name, 8, 1)
 		if err != nil {
@@ -72,6 +77,7 @@ func TestHybridSVEquivalentToOracle(t *testing.T) {
 }
 
 func TestSerialThresholdBFSBoundary(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	// A star with hub degree above the serial threshold forces the parallel
 	// push path; a path graph stays serial. Both must be correct.
 	var star []graph.WEdge
@@ -92,6 +98,7 @@ func TestSerialThresholdBFSBoundary(t *testing.T) {
 
 // Property: hybridSV and the oracle agree on random small graphs.
 func TestHybridSVProperty(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	f := func(raw []uint8) bool {
 		edges := make([]graph.WEdge, 0, len(raw)/2)
 		for i := 0; i+1 < len(raw); i += 2 {

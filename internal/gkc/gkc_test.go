@@ -9,14 +9,17 @@ import (
 )
 
 func TestConformance(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	testutil.RunConformance(t, gkc.New())
 }
 
 func TestDescribe(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	testutil.Describe(t, gkc.New())
 }
 
 func TestAcrossWorkerCounts(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := generate.Twitter(8, 9)
 	if err != nil {
 		t.Fatal(err)

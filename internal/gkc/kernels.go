@@ -173,6 +173,7 @@ func brandes(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
 	for _, src := range sources {
 		par.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
+				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from the forward phase's CAS on depth
 				depth[i] = -1
 				sigma[i] = 0
 				delta[i] = 0
@@ -198,6 +199,7 @@ func brandes(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
 			} else {
 				shared := graph.NewSlidingQueue(int64(n))
 				par.ForDynamic(len(current), 64, workers, func(lo, hi int) {
+					//gapvet:ignore alloc-in-timed-region -- QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 					local := make([]graph.NodeID, 0, 256)
 					for i := lo; i < hi; i++ {
 						u := current[i]

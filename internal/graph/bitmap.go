@@ -38,6 +38,7 @@ func (b *Bitmap) Set(i int64) {
 // writers. It reports whether this call changed the bit (i.e. the caller won
 // the race), which the frontier-building loops use to claim vertices.
 func (b *Bitmap) SetAtomic(i int64) bool {
+	//gapvet:ignore atomic-plain-mix -- address taken once for the CAS loop; every access through w below is atomic
 	w := &b.words[i>>6]
 	mask := uint64(1) << uint(i&63)
 	for {
@@ -51,8 +52,11 @@ func (b *Bitmap) SetAtomic(i int64) bool {
 	}
 }
 
-// Get reports bit i without synchronization.
+// Get reports bit i without synchronization. Callers racing with SetAtomic
+// writers must use GetAtomic; the kernels call Get only on bitmaps that are
+// read-only for the duration of the phase (pull-phase frontiers).
 func (b *Bitmap) Get(i int64) bool {
+	//gapvet:ignore atomic-plain-mix -- plain read path is documented phase-separated; racing readers use GetAtomic
 	return b.words[i>>6]&(1<<uint(i&63)) != 0
 }
 

@@ -27,6 +27,7 @@ func bc(g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []f
 	for _, src := range sources {
 		par.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
+				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from the forward phase's CAS on depth
 				depth[i] = -1
 				sigma[i] = 0
 				delta[i] = 0

@@ -6,9 +6,11 @@ import (
 	"gapbench/internal/generate"
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
+	"gapbench/internal/testutil"
 )
 
 func TestVertexSetConversions(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	vs := FromList(100, []graph.NodeID{3, 50, 99})
 	if vs.Size() != 3 {
 		t.Fatalf("Size = %d", vs.Size())
@@ -45,6 +47,7 @@ func TestVertexSetConversions(t *testing.T) {
 }
 
 func TestEdgesetApplyPush(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := graph.Build([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}}, graph.BuildOptions{Directed: true})
 	if err != nil {
 		t.Fatal(err)
@@ -68,6 +71,7 @@ func TestEdgesetApplyPush(t *testing.T) {
 }
 
 func TestEdgesetApplyPull(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := graph.Build([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}}, graph.BuildOptions{Directed: true})
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +90,7 @@ func TestEdgesetApplyPull(t *testing.T) {
 }
 
 func TestAutotuneSchedules(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	small, _ := generate.Kron(8, 1)
 	if s := autotune("bfs", small); s.Direction != DirOpt {
 		t.Error("bfs autotune should direction-optimize")
@@ -102,6 +107,7 @@ func TestAutotuneSchedules(t *testing.T) {
 }
 
 func TestSpecializeSchedules(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, _ := generate.Road(10, 1)
 	opt := kernel.Options{Mode: kernel.Optimized, GraphName: "Road"}
 	if s := scheduleFor("bfs", g, opt); s.Direction != PushOnly {
@@ -125,6 +131,7 @@ func TestSpecializeSchedules(t *testing.T) {
 }
 
 func TestSegmentsPartitionInEdges(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := generate.Kron(9, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +171,7 @@ func TestSegmentsPartitionInEdges(t *testing.T) {
 }
 
 func TestMergeVariantsAgree(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	x := []graph.NodeID{1, 3, 5, 7, 9, 11}
 	y := []graph.NodeID{2, 3, 4, 7, 11, 13}
 	if a, b := mergeCount(x, y, -1), mergeCountBranchless(x, y, -1); a != b || a != 3 {
@@ -178,6 +186,7 @@ func TestMergeVariantsAgree(t *testing.T) {
 }
 
 func TestLabelPropShortCircuitEquivalence(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := generate.Road(8, 9)
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +212,7 @@ func TestLabelPropShortCircuitEquivalence(t *testing.T) {
 }
 
 func TestAutotuneExploresAndPicksBest(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := generate.Kron(8, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -236,6 +246,7 @@ func TestAutotuneExploresAndPicksBest(t *testing.T) {
 }
 
 func TestVertexSetContainsBothLayouts(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	sp := FromList(10, []graph.NodeID{2, 7})
 	if !sp.Contains(7) || sp.Contains(3) {
 		t.Fatal("sparse Contains wrong")

@@ -9,14 +9,17 @@ import (
 )
 
 func TestConformance(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	testutil.RunConformance(t, graphit.New())
 }
 
 func TestDescribe(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	testutil.Describe(t, graphit.New())
 }
 
 func TestAcrossWorkerCounts(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := generate.Web(8, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -36,6 +36,7 @@ func bfs(g *graph.Graph, src graph.NodeID, sched Schedule, workers int) []graph.
 			for {
 				prev := awake
 				next := EdgesetApplyPull(g, cur, workers,
+					//gapvet:ignore atomic-plain-mix -- pull phase: each v writes only parent[v]; barrier-separated from the push phase's CAS
 					func(v graph.NodeID) bool { return parent[v] < 0 },
 					func(u, v graph.NodeID) bool { parent[v] = u; return true })
 				awake = next.Size()
@@ -166,6 +167,20 @@ func sssp(g *graph.Graph, src graph.NodeID, delta kernel.Dist, sched Schedule, w
 	return dist
 }
 
+// propagateMin CAS-lowers comp[v] to cu, appending v to local when this call
+// won the update. Kept as a named function so the label-propagation loop does
+// not allocate a closure per frontier vertex on the timed hot path.
+func propagateMin(comp []graph.NodeID, cu int32, v graph.NodeID, local []graph.NodeID) []graph.NodeID {
+	old := atomic.LoadInt32(&comp[v])
+	for cu < old {
+		if atomic.CompareAndSwapInt32(&comp[v], old, cu) {
+			return append(local, v)
+		}
+		old = atomic.LoadInt32(&comp[v])
+	}
+	return local
+}
+
 // cc is GraphIt's label-propagation connected components: O(E*D) where
 // Afforest is O(V)-ish, because "GraphIt does not yet support sampling
 // algorithms" (§V-C) — the largest deliberate performance gap in the paper's
@@ -192,22 +207,12 @@ func cc(g *graph.Graph, sched Schedule, workers int) []graph.NodeID {
 			for i := lo; i < hi; i++ {
 				u := frontier[i]
 				cu := atomic.LoadInt32(&comp[u])
-				propagate := func(v graph.NodeID) {
-					old := atomic.LoadInt32(&comp[v])
-					for cu < old {
-						if atomic.CompareAndSwapInt32(&comp[v], old, cu) {
-							local = append(local, v)
-							break
-						}
-						old = atomic.LoadInt32(&comp[v])
-					}
-				}
 				for _, v := range g.OutNeighbors(u) {
-					propagate(v)
+					local = propagateMin(comp, cu, v, local)
 				}
 				if g.Directed() {
 					for _, v := range g.InNeighbors(u) {
-						propagate(v)
+						local = propagateMin(comp, cu, v, local)
 					}
 				}
 			}

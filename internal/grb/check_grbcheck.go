@@ -1,0 +1,6 @@
+//go:build grbcheck
+
+package grb
+
+// Building with -tags=grbcheck turns the runtime sanitizer on; see check.go.
+func init() { grbcheckEnabled = true }

@@ -65,9 +65,11 @@ func (d *DenseMatrix) RowValues(r int) []float64 { return d.val[r] }
 // Parallelism is over the columns of the frontier rows (dynamic chunks over
 // present entries).
 func DenseMxM(f *DenseMatrix, a *Matrix, rowMask func(r int) *Mask, workers int) *DenseMatrix {
+	checkMatrix("DenseMxM input A", a)
 	out := NewDenseMatrix(f.rows, f.n)
 	for r := 0; r < f.rows; r++ {
 		mask := rowMask(r)
+		checkMask("DenseMxM row mask", mask, a.ncols)
 		src := f.val[r]
 		pres := f.pres[r]
 		dst := out.val[r]

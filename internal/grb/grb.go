@@ -51,8 +51,14 @@ func (b *Bitset) SetAtomic(i Index) {
 // Clear marks entry i absent.
 func (b *Bitset) Clear(i Index) { b.words[i>>6] &^= 1 << uint(i&63) }
 
-// Get reports whether entry i is present.
-func (b *Bitset) Get(i Index) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+// Get reports whether entry i is present. The ops read *input* bitsets with
+// Get (read-only for the duration of the operation) while writing *output*
+// bitsets with SetAtomic; the two are distinct objects even though field
+// identity unifies them.
+func (b *Bitset) Get(i Index) bool {
+	//gapvet:ignore atomic-plain-mix -- input bitsets are read-only during an op; SetAtomic targets the distinct output bitset
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
 
 // Len returns the bitset capacity.
 func (b *Bitset) Len() Index { return b.n }

@@ -25,7 +25,11 @@ type entry[T Number] struct {
 // (SuiteSparse's pre-generated kernels); anything else runs the generic
 // operator-pointer path.
 func VxM[T Number](q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, workers int) *Vector[T] {
+	checkVector("VxM input q", q)
+	checkMatrix("VxM input A", a)
+	checkMask("VxM mask", mask, a.ncols)
 	qs := q.ToSparse()
+	checkVector("VxM sparse-converted q", qs)
 	nq := len(qs.ind)
 	if workers < 1 {
 		workers = 1
@@ -109,6 +113,7 @@ func VxM[T Number](q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, workers i
 	default:
 		merge(s.Monoid.Op)
 	}
+	checkVector("VxM output", out)
 	return out
 }
 
@@ -121,7 +126,11 @@ func VxM[T Number](q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, workers i
 // the first contribution, which is what makes the pull direction profitable
 // for BFS. The result is returned in bitmap format.
 func MxV[T Number](a *Matrix, q *Vector[T], s Semiring[T], mask *Mask, workers int) *Vector[T] {
+	checkVector("MxV input q", q)
+	checkMatrix("MxV input A", a)
+	checkMask("MxV mask", mask, a.nrows)
 	qb := q.ToBitmap()
+	checkVector("MxV bitmap-converted q", qb)
 	out := &Vector[T]{n: a.nrows, format: Bitmap, dense: make([]T, a.nrows), present: NewBitset(a.nrows)}
 	switch s.Kind {
 	case KindAnySecondi:
@@ -210,6 +219,8 @@ func MxV[T Number](a *Matrix, q *Vector[T], s Semiring[T], mask *Mask, workers i
 // produced (no mask, no sparsity): the SpMV at the heart of PageRank and
 // FastSV. Built-in semirings run specialized loops.
 func MxVFull[T Number](a *Matrix, q *Vector[T], s Semiring[T], workers int) *Vector[T] {
+	checkVector("MxVFull input q", q)
+	checkMatrix("MxVFull input A", a)
 	dense := q.Dense()
 	out := NewFull[T](a.nrows, s.Monoid.Identity)
 	res := out.Dense()
@@ -264,6 +275,8 @@ func MxVFull[T Number](a *Matrix, q *Vector[T], s Semiring[T], workers int) *Vec
 // does not take the minimum of multiple entries"), so LAGraph's FastSV ships
 // its own kernel for this — as does this package.
 func ScatterMin(dst *Vector[int64], idx, val []int64) {
+	checkVector("ScatterMin dst", dst)
+	checkLengths("ScatterMin operands", len(idx), len(val))
 	d := dst.Dense()
 	for t, i := range idx {
 		if val[t] < d[i] {
@@ -279,6 +292,8 @@ func ScatterMin(dst *Vector[int64], idx, val []int64) {
 // skip construction of the matrix and simply sum up its entries as they are
 // computed", an unfused cost this reproduction keeps.
 func MxMPlusPairReduce(l, u *Matrix, workers int) int64 {
+	checkMatrix("MxMPlusPairReduce input L", l)
+	checkMatrix("MxMPlusPairReduce input U", u)
 	// Materialize C's values row by row (structure equals L's).
 	values := make([]int64, l.NVals())
 	par.ForDynamic(int(l.nrows), 64, workers, func(lo, hi int) {

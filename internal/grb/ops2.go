@@ -11,6 +11,9 @@ package grb
 // either input appear in the output; positions present in both are combined
 // with add.
 func EWiseAdd[T Number](a, b *Vector[T], add func(x, y T) T) *Vector[T] {
+	checkVector("EWiseAdd input a", a)
+	checkVector("EWiseAdd input b", b)
+	checkSameSize("EWiseAdd", a, b)
 	out := &Vector[T]{n: a.n, format: Bitmap, dense: make([]T, a.n), present: NewBitset(a.n)}
 	a.Iterate(func(i Index, x T) {
 		out.dense[i] = x
@@ -30,6 +33,9 @@ func EWiseAdd[T Number](a, b *Vector[T], add func(x, y T) T) *Vector[T] {
 // EWiseMult combines two vectors with intersection semantics: only positions
 // present in both inputs appear, combined with mult.
 func EWiseMult[T Number](a, b *Vector[T], mult func(x, y T) T) *Vector[T] {
+	checkVector("EWiseMult input a", a)
+	checkVector("EWiseMult input b", b)
+	checkSameSize("EWiseMult", a, b)
 	out := &Vector[T]{n: a.n, format: Bitmap, dense: make([]T, a.n), present: NewBitset(a.n)}
 	bb := b.ToBitmap()
 	a.Iterate(func(i Index, x T) {
@@ -44,6 +50,7 @@ func EWiseMult[T Number](a, b *Vector[T], mult func(x, y T) T) *Vector[T] {
 // Transpose returns A' as a new CSR matrix (GrB_transpose materialized; the
 // LAGraph_Graph convention of caching A' at load time builds on this).
 func (m *Matrix) Transpose() *Matrix {
+	checkMatrix("Transpose input", m)
 	t := &Matrix{
 		nrows:  m.ncols,
 		ncols:  m.nrows,
@@ -72,6 +79,7 @@ func (m *Matrix) Transpose() *Matrix {
 			}
 		}
 	}
+	checkMatrix("Transpose output", t)
 	return t
 }
 

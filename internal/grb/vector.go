@@ -240,6 +240,9 @@ func ReduceVec[T Number](v *Vector[T], m Monoid[T]) T {
 // AssignMasked copies src's stored entries into dst where the mask allows
 // (the C API's GrB_assign with a mask: pi<q> = q in the paper's BFS).
 func AssignMasked[T Number](dst, src *Vector[T], mask *Mask) {
+	checkVector("AssignMasked dst", dst)
+	checkVector("AssignMasked src", src)
+	checkMask("AssignMasked mask", mask, dst.n)
 	src.Iterate(func(i Index, x T) {
 		if mask.Allow(i) {
 			dst.SetElement(i, x)
@@ -272,6 +275,7 @@ func EWiseApply[T Number](v *Vector[T], fn func(i Index, x T) T) {
 // to build each bucket. The scan over all n entries per call is the
 // per-bucket overhead §V-B blames for GraphBLAS' Road SSSP times.
 func SelectRange[T Number](v *Vector[T], lo, hi T) *Vector[T] {
+	checkVector("SelectRange input", v)
 	out := NewSparse[T](v.n)
 	v.Iterate(func(i Index, x T) {
 		if x >= lo && x < hi {

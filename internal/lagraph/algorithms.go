@@ -256,6 +256,11 @@ func betweenness(m *matrices, sources []grb.Index, workers int) []float64 {
 	for r := range delta {
 		delta[r] = make([]float64, n)
 	}
+	// One shared all-absent mask for roots whose level structure is already
+	// exhausted: hoisted out of the mask factory so DenseMxM does not allocate
+	// an O(n/64) bitset per row per depth (it is never written, so sharing it
+	// across rows and depths is safe).
+	emptyMask := grb.NewMask(grb.NewBitset(n), false)
 	for d := maxDepth - 1; d >= 1; d-- {
 		w := grb.NewDenseMatrix(k, n)
 		for r := 0; r < k; r++ {
@@ -274,7 +279,7 @@ func betweenness(m *matrices, sources []grb.Index, workers int) []float64 {
 			if d-1 < len(levels[r]) {
 				return grb.NewMask(levels[r][d-1], false)
 			}
-			return grb.NewMask(grb.NewBitset(n), false) // empty: allows nothing
+			return emptyMask // all-absent: allows nothing
 		}, workers)
 		for r := 0; r < k; r++ {
 			pres := t.RowStructure(r)

@@ -8,6 +8,7 @@ import (
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
 	"gapbench/internal/nwgraph"
+	"gapbench/internal/testutil"
 	"gapbench/internal/verify"
 )
 
@@ -82,6 +83,7 @@ func (m *mapAdjacency) WeightedNeighbors(u nwgraph.Vertex, yield func(nwgraph.Ve
 // every NWGraph kernel runs unchanged over a map-backed adjacency and
 // produces oracle-correct results.
 func TestGenericKernelsOnMapAdjacency(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := generate.Kron(8, 13)
 	if err != nil {
 		t.Fatal(err)
@@ -117,6 +119,7 @@ func TestGenericKernelsOnMapAdjacency(t *testing.T) {
 // TestCSRAndMapAgree cross-validates the two adjacency types against each
 // other directly.
 func TestCSRAndMapAgree(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := generate.Urand(7, 21)
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +139,7 @@ func TestCSRAndMapAgree(t *testing.T) {
 }
 
 func TestConceptsCompileTimeConformance(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	var _ nwgraph.AdjacencyList = (*mapAdjacency)(nil)
 	var _ nwgraph.BidirectionalAdjacency = (*mapAdjacency)(nil)
 	var _ nwgraph.WeightedAdjacency = (*mapAdjacency)(nil)

@@ -38,6 +38,7 @@ func BFS[G BidirectionalAdjacency](g G, src Vertex, workers int) []Vertex {
 				var local []Vertex
 				for vi := lo; vi < hi; vi++ {
 					v := Vertex(vi)
+					//gapvet:ignore atomic-plain-mix -- bottom-up phase: each v writes only parent[v]; barrier-separated from the push phase's CAS
 					if parent[v] >= 0 {
 						continue
 					}
@@ -287,6 +288,7 @@ func BC[G BidirectionalAdjacency](g G, sources []Vertex, workers int) []float64 
 	for _, src := range sources {
 		par.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
+				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from the forward phase's CAS on depth
 				depth[i] = -1
 				sigma[i] = 0
 				delta[i] = 0

@@ -9,14 +9,17 @@ import (
 )
 
 func TestConformance(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	testutil.RunConformance(t, nwgraph.New())
 }
 
 func TestDescribe(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	testutil.Describe(t, nwgraph.New())
 }
 
 func TestAcrossWorkerCounts(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	g, err := generate.Urand(8, 5)
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,11 @@
 #      parallel substrate (par), the most race-prone executor (galois), and
 #      the harness that drives every framework (core), on tiny graphs so the
 #      whole sweep finishes in seconds.
+#   6. go test -tags=grbcheck <tier>  the grbcheck sanitizer tier: rebuilds
+#      the GraphBLAS substrate with runtime invariant assertions enabled and
+#      re-runs grb plus its consumer (lagraph) at -short scale, so a
+#      structurally corrupt vector/matrix panics at the operation boundary
+#      that received it (see DESIGN.md "Runtime sanitizer").
 #
 # Any failure stops the script with a non-zero exit.
 
@@ -33,5 +38,8 @@ go test ./...
 
 say "race smoke tier (go test -race -short)"
 go test -race -short ./internal/par/... ./internal/galois/... ./internal/core/...
+
+say "grbcheck sanitizer tier (go test -tags=grbcheck -short)"
+go test -tags=grbcheck -short ./internal/grb/ ./internal/lagraph/
 
 say "all checks passed"
