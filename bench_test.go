@@ -32,6 +32,7 @@ import (
 	"gapbench/internal/grb"
 	"gapbench/internal/kernel"
 	"gapbench/internal/lagraph"
+	"gapbench/internal/par"
 )
 
 func benchScale() int {
@@ -286,7 +287,7 @@ func BenchmarkAblationIndexWidth(b *testing.B) {
 		at := grb.FromGraph(g, true, false)
 		x := grb.NewFull[float64](int64(n), 1)
 		for i := 0; i < b.N; i++ {
-			_ = grb.MxVFull(at, x, grb.PlusFirst(), 1)
+			_ = grb.MxVFull(par.Default(), at, x, grb.PlusFirst(), 1)
 		}
 	})
 }
@@ -313,6 +314,83 @@ func BenchmarkAblationRelabel(b *testing.B) {
 			_ = gap.OrderedCountBench(in.Undirected, 8)
 		}
 	})
+}
+
+// forkJoinForBlocked is the pre-machine par.ForBlocked kept as an ablation
+// reference: a fresh goroutine fork-join per region, the launch discipline
+// every par helper used before the persistent worker pool existed. The
+// machine replaced it precisely because this spawn+join cost is paid once
+// per region — per BFS level, per delta-stepping bucket — which is the
+// per-round overhead the paper's §V-A Road analysis attributes the
+// high-diameter slowdowns to.
+func forkJoinForBlocked(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// BenchmarkAblationRegionLaunch ablates the PR's executor refactor: the same
+// blocked region run on the persistent machine (channel wake of parked
+// workers) versus a per-region goroutine fork-join, across region sizes and
+// round counts. The shapes mirror real kernel behavior — many tiny regions
+// is a high-diameter BFS/SSSP on Road (thousands of levels with small
+// frontiers), few large regions is PageRank on Kron (a handful of full-graph
+// sweeps). Pooled dispatch should win the small-region/many-round corner and
+// be a wash when regions are large enough to amortize the launch.
+func BenchmarkAblationRegionLaunch(b *testing.B) {
+	const workers = 8
+	m := par.NewMachine(workers)
+	defer m.Close()
+	shapes := []struct{ size, rounds int }{
+		{256, 2048},  // Road-like: tiny frontiers, thousands of rounds
+		{4096, 256},  // mid-size frontiers
+		{131072, 16}, // Kron/Urand-like: few full sweeps
+	}
+	data := make([]int64, 131072)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	}
+	for _, sh := range shapes {
+		name := fmt.Sprintf("size=%d/rounds=%d", sh.size, sh.rounds)
+		b.Run("ForkJoin/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < sh.rounds; r++ {
+					forkJoinForBlocked(sh.size, workers, body)
+				}
+			}
+		})
+		b.Run("Pooled/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < sh.rounds; r++ {
+					m.ForBlocked(sh.size, workers, body)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationDirectionOpt contrasts GraphIt's direction-optimizing

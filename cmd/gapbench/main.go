@@ -152,6 +152,7 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 	runner := core.NewRunner()
 	runner.Trials = trials
 	runner.Verify = doVerify
+	defer runner.Close()                  // park the per-mode machines
 	core.PrepareViews(frameworks, inputs) // untimed load-phase conversions
 
 	progress := func(r core.Result) {

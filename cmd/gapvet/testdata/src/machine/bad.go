@@ -1,0 +1,55 @@
+// Package machine seeds the data-flow spawn bug: a hand-rolled worker pool
+// whose submitted closures run on pool goroutines with no syntactic `go`
+// statement anywhere on the submit path — the closure travels through a
+// func-typed struct field and a channel, exactly the par.Machine shape.
+// gapvet's field-based spawn propagation must promote submit to a spawner
+// for atomic-plain-mix to see the race in Run.
+package machine
+
+import "sync/atomic"
+
+type task struct {
+	fn func(w int)
+}
+
+type pool struct {
+	work chan *task
+}
+
+func newPool(workers int) *pool {
+	p := &pool{work: make(chan *task, workers)}
+	for w := 0; w < workers; w++ {
+		go p.loop(w)
+	}
+	return p
+}
+
+func (p *pool) loop(w int) {
+	for t := range p.work {
+		t.fn(w)
+	}
+}
+
+func (p *pool) submit(f func(w int)) {
+	p.work <- &task{fn: f}
+}
+
+var done int64
+
+// Wait spins until the submitted work retires, reading the flag atomically —
+// the author's declaration that done is shared between goroutines.
+func Wait() {
+	for atomic.LoadInt64(&done) == 0 {
+	}
+}
+
+// Run hands the pool a closure that sets the completion flag with a plain
+// write: a data race against Wait's atomic load that is only visible once
+// the analysis understands closures stored into the pool's hot func field
+// execute on the loop goroutines.
+func Run(p *pool, xs []int64) {
+	p.submit(func(w int) {
+		_ = xs[w]
+		done = 1
+	})
+}

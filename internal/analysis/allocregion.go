@@ -110,11 +110,13 @@ func runAllocInTimedRegion(pass *Pass) {
 }
 
 // innermostIsForWorker reports whether the nearest enclosing spawner is
-// par.ForWorker (whose closure runs once per worker: setup, not hot path).
+// par.ForWorker — either the package-level shim or the *par.Machine method
+// (whose closure runs once per worker: setup, not hot path).
 func innermostIsForWorker(ctx spawnCtx) bool {
 	if len(ctx.spawners) == 0 {
 		return false
 	}
 	inner := string(ctx.spawners[len(ctx.spawners)-1])
-	return strings.HasSuffix(inner, "/par.ForWorker") || strings.HasSuffix(inner, ".par.ForWorker")
+	return strings.HasSuffix(inner, "/par.ForWorker") || strings.HasSuffix(inner, ".par.ForWorker") ||
+		strings.HasSuffix(inner, "par.Machine).ForWorker")
 }

@@ -49,12 +49,31 @@ func runParClosureRace(pass *Pass) {
 	}
 }
 
-// parHelperName reports whether call invokes a helper of internal/par
-// (par.For, par.ForDynamic, par.ReduceInt64, ...) and returns its name.
+// parHelperName reports whether call invokes a helper of internal/par —
+// either a package-level shim (par.For, par.ForDynamic, ...) or a method on
+// *par.Machine (exec.ForDynamic, opt.Exec().ReduceInt64, ...) — and returns
+// its name. Machine methods matter as much as the shims: the closure runs on
+// the machine's pool goroutines either way, so the same race rules apply.
 func parHelperName(pkg *Package, call *ast.CallExpr, parPath string) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
+	}
+	// Method form: the selector resolves to a method whose receiver is
+	// par.Machine (by value or pointer). The receiver expression can be
+	// anything — a local `exec`, a field, or a call like opt.Exec().
+	if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				if obj := named.Obj(); obj.Name() == "Machine" && obj.Pkg() != nil && obj.Pkg().Path() == parPath {
+					return sel.Sel.Name, true
+				}
+			}
+		}
 	}
 	id, ok := sel.X.(*ast.Ident)
 	if !ok {

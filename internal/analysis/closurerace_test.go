@@ -123,6 +123,42 @@ func Walk(n int, visit func(func())) {
 			want: []string{`write to captured variable "done" inside par.For closure`},
 		},
 		{
+			name: "machine method closures are checked like the shims",
+			path: "gapbench/internal/demo",
+			files: map[string]string{"bad.go": `package demo
+
+import "gapbench/internal/par"
+
+func Sum(exec *par.Machine, xs []int64) int64 {
+	var total int64
+	exec.ForDynamic(len(xs), 64, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i]
+		}
+	})
+	return total
+}
+`},
+			want: []string{`write to captured variable "total" inside par.ForDynamic closure`},
+		},
+		{
+			name: "machine obtained from a call expression is still recognized",
+			path: "gapbench/internal/demo",
+			files: map[string]string{"bad.go": `package demo
+
+import "gapbench/internal/par"
+
+func Scan(n int) bool {
+	changed := false
+	par.Default().For(n, 0, func(i int) {
+		changed = true
+	})
+	return changed
+}
+`},
+			want: []string{`write to captured variable "changed" inside par.For closure`},
+		},
+		{
 			name: "other packages' For helpers are not par",
 			path: "gapbench/internal/demo",
 			files: map[string]string{"ok.go": `package demo

@@ -144,6 +144,24 @@ type FuncSummary struct {
 
 	// spawnsGoDirect is true when the body contains a go statement.
 	spawnsGoDirect bool
+
+	// funcFieldStores lists struct fields (by identity key) into which this
+	// function stores a func-typed value — a closure parked in a work item,
+	// the par.Machine pattern (dispatch stores the region body in
+	// region.body and sends the region down the wake channel). If any
+	// function that may run on a spawned goroutine invokes such a field, the
+	// storer effectively spawns its closures despite containing no
+	// syntactic `go`.
+	funcFieldStores []VarKey
+	// funcFieldCalls lists func-typed struct fields this function invokes
+	// (runSlot's r.body(slot)), with the spawn context of each call.
+	funcFieldCalls []fieldUse
+}
+
+// fieldUse is one invocation of a func-typed struct field.
+type fieldUse struct {
+	Key VarKey
+	ctx spawnCtx
 }
 
 // ioFact / allocFact are the propagated "this function (transitively)
@@ -212,6 +230,16 @@ func BuildProgram(pkgs []*Package) *Program {
 
 	p.fixSpawnsGo()
 	p.fixConcurrent()
+	// Field-based spawn propagation: closures that reach pool goroutines
+	// through data (stored in a struct field a spawned worker loop invokes,
+	// the par.Machine wake-channel pattern) spawn no goroutine syntactically,
+	// so the call-graph fixpoints alone cannot see them. Each round may
+	// promote new spawners, which in turn widens the concurrent set, which
+	// may make more field invocations hot — iterate the joint fixpoint.
+	for p.propagateFieldSpawns() {
+		p.fixSpawnsGo()
+		p.fixConcurrent()
+	}
 	p.fixTransIO()
 	p.fixTransAlloc()
 	p.fixTransLocks()
@@ -294,6 +322,19 @@ func (b *summaryBuilder) visit(node ast.Node, stack []ast.Node) {
 		if v, ok := b.pkg.Info.Uses[n.Sel].(*types.Var); ok && v.IsField() {
 			b.visitFieldAccess(n, v, stack)
 		}
+	case *ast.KeyValueExpr:
+		// Struct-literal field initialization with a func-typed value
+		// (&region{body: body, ...}): a closure parked in a work item.
+		if id, ok := n.Key.(*ast.Ident); ok {
+			b.recordFuncFieldStore(id)
+		}
+	case *ast.AssignStmt:
+		// Field assignment with a func-typed value (r.body = fn).
+		for _, lhs := range n.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				b.recordFuncFieldStore(sel.Sel)
+			}
+		}
 	case *ast.Ident:
 		// Bare package-level variable reads/writes (locals are only
 		// interesting through index/selector expressions, which the cases
@@ -306,11 +347,39 @@ func (b *summaryBuilder) visit(node ast.Node, stack []ast.Node) {
 	}
 }
 
+// recordFuncFieldStore records a store into a func-typed struct field when
+// id resolves to one (map-literal keys and ordinary fields fall out on the
+// IsField / Signature checks).
+func (b *summaryBuilder) recordFuncFieldStore(id *ast.Ident) {
+	v, ok := b.pkg.Info.Uses[id].(*types.Var)
+	if !ok || !v.IsField() {
+		return
+	}
+	if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+		return
+	}
+	key, _ := fieldKey(v)
+	b.s.funcFieldStores = append(b.s.funcFieldStores, key)
+}
+
 // visitCall handles the call-shaped fact sources: atomic accesses, lock
 // acquisitions, I/O, allocations, and call-graph edges.
 func (b *summaryBuilder) visitCall(call *ast.CallExpr, stack []ast.Node) {
 	info := b.pkg.Info
 	ctx := b.spawnContext(stack)
+
+	// Invocation of a func-typed struct field (runSlot's r.body(slot)): the
+	// raw material of the field-based spawn propagation. Recorded and fallen
+	// through — a field call resolves to a *types.Var, so none of the other
+	// call shapes below can also match it.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+			if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+				key, _ := fieldKey(v)
+				b.s.funcFieldCalls = append(b.s.funcFieldCalls, fieldUse{Key: key, ctx: ctx})
+			}
+		}
+	}
 
 	// sync/atomic calls: the &target operand is an atomic access, not a
 	// plain one.
@@ -747,12 +816,16 @@ func inDefer(stack []ast.Node) bool {
 // ---------------------------------------------------------------------------
 // Fixpoints.
 
-// fixSpawnsGo computes which functions transitively spawn goroutines.
+// fixSpawnsGo computes which functions transitively spawn goroutines. On
+// re-runs (after propagateFieldSpawns promoted data-flow spawners) the
+// existing entries are kept and only the call-graph closure is re-taken.
 func (p *Program) fixSpawnsGo() {
-	p.spawnsGo = map[FuncID]bool{}
-	for _, id := range p.order {
-		if p.Funcs[id].spawnsGoDirect {
-			p.spawnsGo[id] = true
+	if p.spawnsGo == nil {
+		p.spawnsGo = map[FuncID]bool{}
+		for _, id := range p.order {
+			if p.Funcs[id].spawnsGoDirect {
+				p.spawnsGo[id] = true
+			}
 		}
 	}
 	for changed := true; changed; {
@@ -774,6 +847,42 @@ func (p *Program) fixSpawnsGo() {
 
 // SpawnsGo reports whether the function transitively spawns goroutines.
 func (p *Program) SpawnsGo(id FuncID) bool { return p.spawnsGo[id] }
+
+// propagateFieldSpawns handles spawning that flows through data instead of
+// the call graph: a closure stored into a func-typed struct field and
+// invoked by a goroutine the storer never syntactically calls. The concrete
+// instance is par.Machine — dispatch parks the region body in region.body
+// and publishes the region on the wake channel; pool workers (spawned once,
+// in NewMachine) receive it and call r.body via runSlot. A func-typed field
+// is *hot* when any function that may run on a spawned goroutine invokes
+// it; a function storing a closure into a hot field then counts as a
+// spawner, exactly as if it handed the closure to par.For. Reports whether
+// any new spawner was promoted (the caller then re-closes the call-graph
+// fixpoints and retries until nothing changes).
+func (p *Program) propagateFieldSpawns() bool {
+	hot := map[VarKey]bool{}
+	for _, id := range p.order {
+		for _, u := range p.Funcs[id].funcFieldCalls {
+			if p.concurrent[id] || p.concurrentCtx(u.ctx) {
+				hot[u.Key] = true
+			}
+		}
+	}
+	changed := false
+	for _, id := range p.order {
+		if p.spawnsGo[id] {
+			continue
+		}
+		for _, key := range p.Funcs[id].funcFieldStores {
+			if hot[key] {
+				p.spawnsGo[id] = true
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
 
 // concurrentCtx reports whether facts collected under ctx may execute on a
 // spawned goroutine.

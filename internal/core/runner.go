@@ -7,8 +7,40 @@ import (
 	"time"
 
 	"gapbench/internal/kernel"
+	"gapbench/internal/par"
 	"gapbench/internal/verify"
 )
+
+// SyncStats is the synchronization structure of one cell: the counters the
+// cell's machine accumulated across its timed trials. This is the observable
+// form of the paper's launch-overhead argument (§V-A): Road columns show an
+// order of magnitude more regions per second of runtime than Twitter columns,
+// and frameworks with persistent executors (Galois) show it least.
+type SyncStats struct {
+	// Workers is the machine width the cell ran with.
+	Workers int
+	// Regions counts parallel-loop launches (including serial fast paths);
+	// SerialRegions is the inline subset (no worker woken).
+	Regions       int64
+	SerialRegions int64
+	// Barriers counts participant shares joined at region barriers.
+	Barriers int64
+	// Chunks counts dynamically dispatched work units.
+	Chunks int64
+	// EffectiveWorkers is the mean participant count over parallel regions.
+	EffectiveWorkers float64
+}
+
+func syncStatsFrom(s par.Stats) SyncStats {
+	return SyncStats{
+		Workers:          s.Workers,
+		Regions:          s.Regions,
+		SerialRegions:    s.SerialRegions,
+		Barriers:         s.Barriers,
+		Chunks:           s.Chunks,
+		EffectiveWorkers: s.EffectiveWorkers(),
+	}
+}
 
 // Result is one cell of the evaluation: a (framework, kernel, graph, mode)
 // combination with its best trial time and verification status.
@@ -32,6 +64,9 @@ type Result struct {
 	// unverified cell is reported, never silently kept.
 	Verified bool
 	Err      string
+	// Sync is the cell's synchronization structure, accumulated over the
+	// timed trials from the mode's machine (reset per cell).
+	Sync SyncStats
 }
 
 // Runner executes benchmark cells under the paper's two rule sets.
@@ -52,6 +87,12 @@ type Runner struct {
 	OptimizedWorkers int
 	// Verify enables oracle checking of every trial (untimed).
 	Verify bool
+
+	// machines holds one persistent worker pool per mode, built lazily at
+	// the mode's worker count (the Baseline 8-analogue vs the Optimized
+	// hyperthread count) and reused across every cell of that mode, exactly
+	// like the paper pins each rule set's thread count for a whole data set.
+	machines map[kernel.Mode]*par.Machine
 }
 
 // NewRunner returns a Runner with the defaults described on the fields.
@@ -70,6 +111,33 @@ func NewRunner() *Runner {
 	return &Runner{Trials: 3, BaselineWorkers: base, OptimizedWorkers: opt, Verify: true}
 }
 
+// machine returns the persistent pool for the given mode, building it on
+// first use at that mode's worker count.
+func (r *Runner) machine(mode kernel.Mode) *par.Machine {
+	if r.machines == nil {
+		r.machines = make(map[kernel.Mode]*par.Machine)
+	}
+	m, ok := r.machines[mode]
+	if !ok {
+		workers := r.BaselineWorkers
+		if mode == kernel.Optimized {
+			workers = r.OptimizedWorkers
+		}
+		m = par.NewMachine(workers)
+		r.machines[mode] = m
+	}
+	return m
+}
+
+// Close parks the Runner's machines, joining every pool worker. Safe to call
+// more than once; a closed Runner still runs cells (regions degrade to serial
+// execution on the calling goroutine).
+func (r *Runner) Close() {
+	for _, m := range r.machines {
+		m.Close()
+	}
+}
+
 // options assembles the kernel.Options for one cell under the mode's rules.
 func (r *Runner) options(in *Input, mode kernel.Mode) kernel.Options {
 	opt := kernel.Options{
@@ -77,6 +145,7 @@ func (r *Runner) options(in *Input, mode kernel.Mode) kernel.Options {
 		Delta:          in.Spec.Delta,
 		Workers:        r.BaselineWorkers,
 		UndirectedView: in.Undirected,
+		Machine:        r.machine(mode),
 	}
 	if mode == kernel.Optimized {
 		// Optimized rule set: per-graph identity is known, hyperthreads are
@@ -100,6 +169,9 @@ func (r *Runner) RunCell(f kernel.Framework, k Kernel, in *Input, mode kernel.Mo
 	}
 	opt := r.options(in, mode)
 	g := in.Graph
+	// Per-cell stats window: the counters accumulated during this cell's
+	// trials become the cell's SyncStats block.
+	opt.Machine.ResetStats()
 
 	best := -1.0
 	var total float64
@@ -194,6 +266,7 @@ func (r *Runner) RunCell(f kernel.Framework, k Kernel, in *Input, mode kernel.Mo
 		res.StdDev = math.Sqrt(sq / float64(len(samples)-1))
 	}
 	res.Trials = trials
+	res.Sync = syncStatsFrom(opt.Machine.Stats())
 	return res
 }
 

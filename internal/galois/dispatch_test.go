@@ -5,6 +5,7 @@ import (
 
 	"gapbench/internal/generate"
 	"gapbench/internal/kernel"
+	"gapbench/internal/par"
 )
 
 // TestDiameterDispatch checks the §V Baseline heuristic and its Optimized
@@ -55,8 +56,8 @@ func TestAsyncAndSyncBFSAgree(t *testing.T) {
 		for g.OutDegree(src) == 0 {
 			src++
 		}
-		a := asyncBFS(g, src, 4)
-		s := syncBFS(g, src, 4)
+		a := asyncBFS(par.Default(), g, src, 4)
+		s := syncBFS(par.Default(), g, src, 4)
 		for v := range a {
 			if (a[v] >= 0) != (s[v] >= 0) {
 				t.Fatalf("%s: reachability of %d differs between variants", name, v)
@@ -75,8 +76,8 @@ func TestBulkAndAsyncSSSPAgree(t *testing.T) {
 	for g.OutDegree(src) == 0 {
 		src++
 	}
-	bulk := bulkSSSP(g, src, 16, 4)
-	async := asyncSSSP(g, src, 16, 4)
+	bulk := bulkSSSP(par.Default(), g, src, 16, 4)
+	async := asyncSSSP(par.Default(), g, src, 16, 4)
 	for v := range bulk {
 		if bulk[v] != async[v] {
 			t.Fatalf("dist[%d]: bulk %d != async %d", v, bulk[v], async[v])
@@ -91,8 +92,8 @@ func TestEdgeBlockedAfforestAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain := afforest(g, 4, false)
-	blocked := afforest(g, 4, true)
+	plain := afforest(par.Default(), g, 4, false)
+	blocked := afforest(par.Default(), g, 4, true)
 	canon := func(labels []int32) map[int32]int32 {
 		m := map[int32]int32{}
 		for v, l := range labels {

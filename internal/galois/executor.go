@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gapbench/internal/graph"
+	"gapbench/internal/par"
 )
 
 // Ctx is the operator's handle for generating new work (the Galois
@@ -40,7 +41,14 @@ func (c *Ctx) Push(v graph.NodeID) {
 // The operator may be applied to the same vertex many times and must be a
 // monotone relaxation (idempotent at fixed point), which all the kernels
 // here are.
-func ForEachAsync(workers int, initial []graph.NodeID, op func(ctx *Ctx, v graph.NodeID)) {
+//
+// The worker loops run as one region on the given machine (one slot per
+// worker id): Galois' persistent-thread executor mapped onto our persistent
+// pool, so a whole asynchronous traversal costs one launch. When the machine
+// has fewer participants than workers the slots run in sequence, which stays
+// correct — any single slot can drain the whole computation to quiescence by
+// stealing.
+func ForEachAsync(exec *par.Machine, workers int, initial []graph.NodeID, op func(ctx *Ctx, v graph.NodeID)) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -58,66 +66,60 @@ func ForEachAsync(workers int, initial []graph.NodeID, op func(ctx *Ctx, v graph
 	var pending atomic.Int64
 	pending.Store(int64(len(initial)))
 
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			own := deques[w]
-			ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
-			ctx.local.n = 0
-			//gapvet:ignore alloc-in-timed-region -- one spill closure per worker goroutine: per-worker setup, not per-element churn
-			ctx.spill = func(c *chunk) { own.pushBottom(c) }
-			rng := uint64(w)*0x9e3779b97f4a7c15 + 0x853c49e6748fea9b
-			idle := 0
-			for {
-				// Own partial chunk first (locality), then own deque, then
-				// steal from a random victim.
-				c := ctx.local
-				if c.n == 0 {
-					c = own.popBottom()
-					for attempts := 0; c == nil && attempts < 2*workers; attempts++ {
-						rng = rng*6364136223846793005 + 1442695040888963407
-						victim := int((rng >> 33) % uint64(workers))
-						if victim != w {
-							c = deques[victim].steal()
-						}
+	exec.ForWorker(workers, workers, func(w, _, _ int) {
+		own := deques[w]
+		ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
+		ctx.local.n = 0
+		//gapvet:ignore alloc-in-timed-region -- one spill closure per worker goroutine: per-worker setup, not per-element churn
+		ctx.spill = func(c *chunk) { own.pushBottom(c) }
+		rng := uint64(w)*0x9e3779b97f4a7c15 + 0x853c49e6748fea9b
+		idle := 0
+		for {
+			// Own partial chunk first (locality), then own deque, then
+			// steal from a random victim.
+			c := ctx.local
+			if c.n == 0 {
+				c = own.popBottom()
+				for attempts := 0; c == nil && attempts < 2*workers; attempts++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					victim := int((rng >> 33) % uint64(workers))
+					if victim != w {
+						c = deques[victim].steal()
 					}
-					if c == nil {
-						if pending.Load() == 0 {
-							break
-						}
-						idle++
-						if idle > 16 {
-							time.Sleep(time.Duration(min(idle, 200)) * time.Microsecond)
-						} else {
-							runtime.Gosched()
-						}
-						continue
+				}
+				if c == nil {
+					if pending.Load() == 0 {
+						break
 					}
-					idle = 0
-				} else {
-					ctx.local = chunkPool.Get().(*chunk)
-					ctx.local.n = 0
+					idle++
+					if idle > 16 {
+						time.Sleep(time.Duration(min(idle, 200)) * time.Microsecond)
+					} else {
+						runtime.Gosched()
+					}
+					continue
 				}
-				n := c.n
-				for i := 0; i < n; i++ {
-					op(ctx, c.items[i])
-				}
-				pending.Add(-int64(n))
-				c.n = 0
-				chunkPool.Put(c)
+				idle = 0
+			} else {
+				ctx.local = chunkPool.Get().(*chunk)
+				ctx.local.n = 0
 			}
-			chunkPool.Put(ctx.local)
-		}(w)
-	}
-	wg.Wait()
+			n := c.n
+			for i := 0; i < n; i++ {
+				op(ctx, c.items[i])
+			}
+			pending.Add(-int64(n))
+			c.n = 0
+			chunkPool.Put(c)
+		}
+		chunkPool.Put(ctx.local)
+	})
 }
 
 // ForEachRounds runs op over work in bulk-synchronous rounds: the operator's
 // pushes form the next round's frontier, with a barrier between rounds (the
 // level-synchronous executor).
-func ForEachRounds(workers int, initial []graph.NodeID, op func(ctx *Ctx, v graph.NodeID)) {
+func ForEachRounds(exec *par.Machine, workers int, initial []graph.NodeID, op func(ctx *Ctx, v graph.NodeID)) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -125,30 +127,24 @@ func ForEachRounds(workers int, initial []graph.NodeID, op func(ctx *Ctx, v grap
 	for !frontier.empty() {
 		next := &bag{}
 		var pending atomic.Int64 // unused for termination here, but Ctx needs it
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
-				ctx.local.n = 0
-				//gapvet:ignore alloc-in-timed-region -- one spill closure per worker goroutine: per-worker setup, not per-element churn
-				ctx.spill = func(c *chunk) { next.put(c) }
-				for {
-					c := frontier.get()
-					if c == nil {
-						break
-					}
-					for i := 0; i < c.n; i++ {
-						op(ctx, c.items[i])
-					}
-					c.n = 0
-					chunkPool.Put(c)
+		exec.ForWorker(workers, workers, func(_, _, _ int) {
+			ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
+			ctx.local.n = 0
+			//gapvet:ignore alloc-in-timed-region -- one spill closure per worker slot: per-worker setup, not per-element churn
+			ctx.spill = func(c *chunk) { next.put(c) }
+			for {
+				c := frontier.get()
+				if c == nil {
+					break
 				}
-				next.put(ctx.local)
-			}()
-		}
-		wg.Wait()
+				for i := 0; i < c.n; i++ {
+					op(ctx, c.items[i])
+				}
+				c.n = 0
+				chunkPool.Put(c)
+			}
+			next.put(ctx.local)
+		})
 		frontier = next
 	}
 }
@@ -256,7 +252,7 @@ func (o *obim) next() *chunk {
 // prefers its own lowest-priority partial chunk (no synchronization), then
 // steals from the shared levels; spilled full chunks keep the other workers
 // fed. Quiescence is detected with a global outstanding-work counter.
-func ForEachOrdered(workers int, initial []graph.NodeID, initialPriority int, op func(ctx *PCtx, v graph.NodeID)) {
+func ForEachOrdered(exec *par.Machine, workers int, initial []graph.NodeID, initialPriority int, op func(ctx *PCtx, v graph.NodeID)) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -267,45 +263,39 @@ func ForEachOrdered(workers int, initial []graph.NodeID, initialPriority int, op
 	}
 	seedCtx.flushAll()
 
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			ctx := &PCtx{exec: o, local: map[int]*chunk{}}
-			idle := 0
-			for {
-				c := ctx.popLowestLocal()
+	exec.ForWorker(workers, workers, func(_, _, _ int) {
+		ctx := &PCtx{exec: o, local: map[int]*chunk{}}
+		idle := 0
+		for {
+			c := ctx.popLowestLocal()
+			if c == nil {
+				c = o.next()
 				if c == nil {
-					c = o.next()
-					if c == nil {
-						if o.pending.Load() == 0 {
-							break
-						}
-						// Exponential backoff keeps idle workers from
-						// hammering the scheduler while one worker races
-						// down a long dependence chain (Road).
-						idle++
-						if idle > 16 {
-							time.Sleep(time.Duration(min(idle, 200)) * time.Microsecond)
-						} else {
-							runtime.Gosched()
-						}
-						continue
+					if o.pending.Load() == 0 {
+						break
 					}
+					// Exponential backoff keeps idle workers from
+					// hammering the scheduler while one worker races
+					// down a long dependence chain (Road).
+					idle++
+					if idle > 16 {
+						time.Sleep(time.Duration(min(idle, 200)) * time.Microsecond)
+					} else {
+						runtime.Gosched()
+					}
+					continue
 				}
-				idle = 0
-				n := c.n
-				for i := 0; i < n; i++ {
-					op(ctx, c.items[i])
-				}
-				o.pending.Add(-int64(n))
-				c.n = 0
-				chunkPool.Put(c)
 			}
-		}()
-	}
-	wg.Wait()
+			idle = 0
+			n := c.n
+			for i := 0; i < n; i++ {
+				op(ctx, c.items[i])
+			}
+			o.pending.Add(-int64(n))
+			c.n = 0
+			chunkPool.Put(c)
+		}
+	})
 }
 
 // flushAll spills every partial local chunk to the shared levels.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gapbench/internal/graph"
+	"gapbench/internal/par"
 	"gapbench/internal/testutil"
 )
 
@@ -19,7 +20,7 @@ func TestForEachAsyncProcessesAllInitialWork(t *testing.T) {
 	var count atomic.Int64
 	for _, workers := range []int{1, 4} {
 		count.Store(0)
-		ForEachAsync(workers, initial, func(_ *Ctx, v graph.NodeID) {
+		ForEachAsync(par.Default(), workers, initial, func(_ *Ctx, v graph.NodeID) {
 			count.Add(1)
 		})
 		if count.Load() != n {
@@ -34,7 +35,7 @@ func TestForEachAsyncProcessesPushes(t *testing.T) {
 	const limit = 5000
 	var seen sync.Map
 	var count atomic.Int64
-	ForEachAsync(4, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
+	ForEachAsync(par.Default(), 4, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
 		if _, dup := seen.LoadOrStore(v, true); dup {
 			return
 		}
@@ -53,7 +54,7 @@ func TestForEachAsyncFanOut(t *testing.T) {
 	// Each item pushes two children to depth 12: 2^13-1 total ops.
 	const depth = 12
 	var count atomic.Int64
-	ForEachAsync(4, []graph.NodeID{1}, func(ctx *Ctx, v graph.NodeID) {
+	ForEachAsync(par.Default(), 4, []graph.NodeID{1}, func(ctx *Ctx, v graph.NodeID) {
 		count.Add(1)
 		if v < 1<<depth {
 			ctx.Push(2 * v)
@@ -73,7 +74,7 @@ func TestForEachRoundsBarrierOrder(t *testing.T) {
 	// worker count.
 	var mu sync.Mutex
 	var order []graph.NodeID
-	ForEachRounds(4, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
+	ForEachRounds(par.Default(), 4, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
 		mu.Lock()
 		order = append(order, v)
 		mu.Unlock()
@@ -95,7 +96,7 @@ func TestForEachRoundsChainLength(t *testing.T) {
 	defer testutil.CheckGoroutines(t)()
 	var count atomic.Int64
 	const chain = 257 // crosses several chunk boundaries
-	ForEachRounds(3, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
+	ForEachRounds(par.Default(), 3, []graph.NodeID{0}, func(ctx *Ctx, v graph.NodeID) {
 		count.Add(1)
 		if v+1 < chain {
 			ctx.Push(v + 1)
@@ -118,7 +119,7 @@ func TestForEachOrderedQuiescence(t *testing.T) {
 		return atomic.CompareAndSwapInt32(&claimed[v], 0, 1)
 	}
 	claim(0)
-	ForEachOrdered(4, []graph.NodeID{0}, 0, func(ctx *PCtx, v graph.NodeID) {
+	ForEachOrdered(par.Default(), 4, []graph.NodeID{0}, 0, func(ctx *PCtx, v graph.NodeID) {
 		if v >= limit {
 			return
 		}
@@ -142,7 +143,7 @@ func TestForEachOrderedApproximatePriority(t *testing.T) {
 	// priorities and confirm the low one runs first.
 	var order []graph.NodeID
 	initial := []graph.NodeID{100} // priority 0 seeds item "100"
-	ForEachOrdered(1, initial, 5, func(ctx *PCtx, v graph.NodeID) {
+	ForEachOrdered(par.Default(), 1, initial, 5, func(ctx *PCtx, v graph.NodeID) {
 		order = append(order, v)
 		if v == 100 {
 			ctx.Push(1, 1) // lower priority than the seed's 5

@@ -24,7 +24,7 @@ import (
 // architectures we run on) to keep the chaos well-defined under the Go
 // memory model. The sweep is a topology-driven loop over statically blocked
 // ranges, the analogue of Galois' NUMA-blocked dense worklist.
-func pagerankGS(g *graph.Graph, workers int) []float64 {
+func pagerankGS(exec *par.Machine, g *graph.Graph, workers int) []float64 {
 	n := int(g.NumNodes())
 	if n == 0 {
 		return nil
@@ -44,7 +44,7 @@ func pagerankGS(g *graph.Graph, workers int) []float64 {
 	for it := 0; it < kernel.PRMaxIters; it++ {
 		// Dangling mass from the current scores; staleness within a sweep
 		// vanishes at the fixed point.
-		dangling := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
 				if invDeg[u] == 0 {
@@ -55,7 +55,7 @@ func pagerankGS(g *graph.Graph, workers int) []float64 {
 		})
 		share := kernel.PRDamping * dangling / float64(n)
 
-		delta := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		delta := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for vi := lo; vi < hi; vi++ {
 				v := graph.NodeID(vi)

@@ -5,6 +5,7 @@ import (
 
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
+	"gapbench/internal/par"
 )
 
 // relaxEdges applies the SSSP relaxation operator to u: CAS-min every
@@ -30,7 +31,7 @@ func relaxEdges(g *graph.Graph, dist []kernel.Dist, u graph.NodeID, push func(v 
 // over the OBIM ordered executor, priority = distance/delta. No per-bucket
 // barriers exist, which is what narrows the gap to GAP on Road (§V-B:
 // "Asynchronous execution in Galois for Road reduces this performance gap").
-func asyncSSSP(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []kernel.Dist {
+func asyncSSSP(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []kernel.Dist {
 	n := int(g.NumNodes())
 	dist := make([]kernel.Dist, n)
 	for i := range dist {
@@ -40,7 +41,7 @@ func asyncSSSP(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int)
 		return dist
 	}
 	dist[src] = 0
-	ForEachOrdered(workers, []graph.NodeID{src}, 0, func(ctx *PCtx, u graph.NodeID) {
+	ForEachOrdered(exec, workers, []graph.NodeID{src}, 0, func(ctx *PCtx, u graph.NodeID) {
 		relaxEdges(g, dist, u, func(v graph.NodeID, nd kernel.Dist) {
 			ctx.Push(v, int(nd/delta))
 		})
@@ -52,7 +53,7 @@ func asyncSSSP(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int)
 // machinery: each bucket drains to a fixed point with barriers between
 // passes. Deliberately absent is GAP's bucket fusion; §V-B: "GAP is faster
 // than Galois due to the bucket fusion optimization".
-func bulkSSSP(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []kernel.Dist {
+func bulkSSSP(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []kernel.Dist {
 	n := int(g.NumNodes())
 	dist := make([]kernel.Dist, n)
 	for i := range dist {
@@ -83,7 +84,7 @@ func bulkSSSP(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) 
 			// One bulk-synchronous pass over the bucket's current chunks.
 			work := drainBag(buckets[b], nil)
 			results := make([]*priorityChunks, workers)
-			forWorkers(workers, len(work), func(w, loI, hiI int) {
+			exec.ForWorker(len(work), workers, func(w, loI, hiI int) {
 				out := &priorityChunks{tagged: map[int][]*chunk{}}
 				local := map[int]*chunk{}
 				for i := loI; i < hiI; i++ {
@@ -145,25 +146,4 @@ func (p *priorityChunks) putTagged(prio int, c *chunk) {
 		return
 	}
 	p.tagged[prio] = append(p.tagged[prio], c)
-}
-
-// forWorkers splits [0,n) statically across workers, invoking fn with the
-// worker id and its range (running inline when n is 0 to keep result slots
-// deterministic).
-func forWorkers(workers, n int, fn func(w, lo, hi int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	done := make(chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		go func(w, lo, hi int) {
-			fn(w, lo, hi)
-			done <- struct{}{}
-		}(w, lo, hi)
-	}
-	for w := 0; w < workers; w++ {
-		<-done
-	}
 }

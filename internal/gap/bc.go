@@ -19,6 +19,7 @@ import (
 func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float64 {
 	n := int(g.NumNodes())
 	workers := opt.EffectiveWorkers()
+	exec := opt.Exec()
 	scores := make([]float64, n)
 	if n == 0 {
 		return scores
@@ -29,7 +30,7 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 	delta := make([]float64, n)
 
 	for _, src := range sources {
-		par.ForBlocked(n, workers, func(lo, hi int) {
+		exec.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from bcForward's CAS on depth
 				depth[i] = -1
@@ -41,13 +42,13 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 		sigma[src] = 1
 
 		// Forward phase: level-synchronous parallel BFS capturing each level.
-		levels := bcForward(g, src, depth, workers)
+		levels := bcForward(exec, g, src, depth, workers)
 
 		// Sigma phase: per level (in order), each vertex pulls path counts
 		// from in-neighbors one level up. Writes are owner-only.
 		for l := 1; l < len(levels); l++ {
 			level := levels[l]
-			par.ForDynamic(len(level), 128, workers, func(lo, hi int) {
+			exec.ForDynamic(len(level), 128, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					v := level[i]
 					var s float64
@@ -65,7 +66,7 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 		// successors' dependencies. Again owner-only writes.
 		for l := len(levels) - 2; l >= 0; l-- {
 			level := levels[l]
-			par.ForDynamic(len(level), 128, workers, func(lo, hi int) {
+			exec.ForDynamic(len(level), 128, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					u := level[i]
 					var d float64
@@ -91,7 +92,7 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 		}
 	}
 	if maxScore > 0 {
-		par.ForBlocked(n, workers, func(lo, hi int) {
+		exec.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				scores[i] /= maxScore
 			}
@@ -102,14 +103,14 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 
 // bcForward runs a push-based parallel BFS from src, assigning depths and
 // returning the vertices of each level (level 0 is [src]).
-func bcForward(g *graph.Graph, src graph.NodeID, depth []int32, workers int) [][]graph.NodeID {
+func bcForward(exec *par.Machine, g *graph.Graph, src graph.NodeID, depth []int32, workers int) [][]graph.NodeID {
 	levels := [][]graph.NodeID{{src}}
 	current := levels[0]
 	var mu chunkAppender
 	for len(current) > 0 {
 		d := int32(len(levels))
 		mu.reset()
-		par.ForDynamic(len(current), 64, workers, func(lo, hi int) {
+		exec.ForDynamic(len(current), 64, workers, func(lo, hi int) {
 			//gapvet:ignore alloc-in-timed-region -- GAP QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 			local := make([]graph.NodeID, 0, 256)
 			for i := lo; i < hi; i++ {

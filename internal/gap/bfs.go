@@ -20,6 +20,7 @@ const (
 func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID {
 	n := int64(g.NumNodes())
 	workers := opt.EffectiveWorkers()
+	exec := opt.Exec()
 	parent := make([]graph.NodeID, n)
 	for i := range parent {
 		parent[i] = -1
@@ -52,18 +53,18 @@ func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID 
 			for {
 				prevAwake := awake
 				curr.Reset()
-				awake = buStep(g, parent, front, curr, workers)
+				awake = buStep(exec, g, parent, front, curr, workers)
 				front.Swap(curr)
 				if awake == 0 || !(awake >= prevAwake || awake > n/dobfsBeta) {
 					break
 				}
 			}
-			bitmapToQueue(front, queue, workers)
+			bitmapToQueue(exec, front, queue, workers)
 			queue.SlideWindow()
 			scoutCount = 1
 		} else {
 			edgesToCheck -= scoutCount
-			scoutCount = tdStep(g, parent, queue, workers)
+			scoutCount = tdStep(exec, g, parent, queue, workers)
 			queue.SlideWindow()
 		}
 	}
@@ -75,10 +76,10 @@ func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID 
 // to the next window through per-chunk local buffers (the GAP QueueBuffer).
 // It returns the total out-degree of the newly visited vertices (the scout
 // count driving the direction heuristic).
-func tdStep(g *graph.Graph, parent []graph.NodeID, queue *graph.SlidingQueue, workers int) int64 {
+func tdStep(exec *par.Machine, g *graph.Graph, parent []graph.NodeID, queue *graph.SlidingQueue, workers int) int64 {
 	frontier := queue.Frontier()
 	var scout atomic.Int64
-	par.ForDynamic(len(frontier), 64, workers, func(lo, hi int) {
+	exec.ForDynamic(len(frontier), 64, workers, func(lo, hi int) {
 		//gapvet:ignore alloc-in-timed-region -- GAP QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 		local := make([]graph.NodeID, 0, 256)
 		var localScout int64
@@ -107,9 +108,9 @@ func tdStep(g *graph.Graph, parent []graph.NodeID, queue *graph.SlidingQueue, wo
 // in-neighbors and adopts the first one found in the frontier bitmap. No
 // atomics are needed because each vertex writes only its own parent slot. It
 // returns the number of vertices awakened into next.
-func buStep(g *graph.Graph, parent []graph.NodeID, front, next *graph.Bitmap, workers int) int64 {
+func buStep(exec *par.Machine, g *graph.Graph, parent []graph.NodeID, front, next *graph.Bitmap, workers int) int64 {
 	n := int(g.NumNodes())
-	return par.ReduceInt64(n, workers, func(lo, hi int) int64 {
+	return exec.ReduceInt64(n, workers, func(lo, hi int) int64 {
 		var awake int64
 		for u := lo; u < hi; u++ {
 			//gapvet:ignore atomic-plain-mix -- pull phase: each u writes only parent[u]; barrier-separated from tdStep's CAS
@@ -131,9 +132,9 @@ func buStep(g *graph.Graph, parent []graph.NodeID, front, next *graph.Bitmap, wo
 
 // bitmapToQueue converts a frontier bitmap back into the sliding queue after
 // the pull phase ends.
-func bitmapToQueue(front *graph.Bitmap, queue *graph.SlidingQueue, workers int) {
+func bitmapToQueue(exec *par.Machine, front *graph.Bitmap, queue *graph.SlidingQueue, workers int) {
 	n := int(front.Len())
-	par.ForWorker(n, workers, func(_, lo, hi int) {
+	exec.ForWorker(n, workers, func(_, lo, hi int) {
 		local := make([]graph.NodeID, 0, 256)
 		for u := lo; u < hi; u++ {
 			if front.Get(int64(u)) {

@@ -20,6 +20,7 @@ const afforestNeighborRounds = 2
 func Afforest(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 	n := int(g.NumNodes())
 	workers := opt.EffectiveWorkers()
+	exec := opt.Exec()
 	comp := make([]graph.NodeID, n)
 	for i := range comp {
 		comp[i] = graph.NodeID(i)
@@ -31,7 +32,7 @@ func Afforest(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 	// Phase 1: subgraph sampling — link each vertex to its first few
 	// neighbors only.
 	for r := 0; r < afforestNeighborRounds; r++ {
-		par.ForDynamic(n, 256, workers, func(lo, hi int) {
+		exec.ForDynamic(n, 256, workers, func(lo, hi int) {
 			for u := lo; u < hi; u++ {
 				neigh := g.OutNeighbors(graph.NodeID(u))
 				if r < len(neigh) {
@@ -40,7 +41,7 @@ func Afforest(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 			}
 		})
 	}
-	compress(comp, workers)
+	compress(exec, comp, workers)
 
 	// Phase 2: find the (very likely) giant component by sampling.
 	giant := sampleFrequentComponent(comp)
@@ -48,7 +49,7 @@ func Afforest(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 	// Phase 3: finish everything outside the giant component with the
 	// remaining out-edges (and in-edges for directed graphs, since weak
 	// connectivity ignores direction).
-	par.ForDynamic(n, 256, workers, func(lo, hi int) {
+	exec.ForDynamic(n, 256, workers, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			if atomic.LoadInt32(&comp[u]) == giant {
 				continue
@@ -64,7 +65,7 @@ func Afforest(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 			}
 		}
 	})
-	compress(comp, workers)
+	compress(exec, comp, workers)
 	return comp
 }
 
@@ -93,8 +94,8 @@ func link(u, v graph.NodeID, comp []graph.NodeID) {
 
 // compress performs full pointer-jumping so every vertex points directly at
 // its component root.
-func compress(comp []graph.NodeID, workers int) {
-	par.ForBlocked(len(comp), workers, func(lo, hi int) {
+func compress(exec *par.Machine, comp []graph.NodeID, workers int) {
+	exec.ForBlocked(len(comp), workers, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			// Atomic accesses keep the pointer jumping well-defined under the
 			// Go memory model even when ranges race on shared ancestors.

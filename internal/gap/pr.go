@@ -6,7 +6,6 @@ import (
 
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
-	"gapbench/internal/par"
 )
 
 // PageRank runs the GAP reference algorithm: Jacobi-style pull SpMV — every
@@ -20,6 +19,7 @@ func PageRank(g *graph.Graph, opt kernel.Options) []float64 {
 		return nil
 	}
 	workers := opt.EffectiveWorkers()
+	exec := opt.Exec()
 	base := (1 - kernel.PRDamping) / float64(n)
 
 	ranks := make([]float64, n)
@@ -32,7 +32,7 @@ func PageRank(g *graph.Graph, opt kernel.Options) []float64 {
 	for it := 0; it < kernel.PRMaxIters; it++ {
 		// Scatter phase: precompute each vertex's per-edge contribution and
 		// sum dangling mass.
-		dangling := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
 				if deg := g.OutDegree(graph.NodeID(u)); deg > 0 {
@@ -48,7 +48,7 @@ func PageRank(g *graph.Graph, opt kernel.Options) []float64 {
 
 		// Gather phase (pull over in-edges): race-free because vertex v only
 		// writes ranks[v], reading the immutable contrib snapshot.
-		delta := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		delta := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for v := lo; v < hi; v++ {
 				sum := 0.0
@@ -80,6 +80,7 @@ func PageRankGS(g *graph.Graph, opt kernel.Options) []float64 {
 		return nil
 	}
 	workers := opt.EffectiveWorkers()
+	exec := opt.Exec()
 	base := (1 - kernel.PRDamping) / float64(n)
 	ranks := make([]float64, n)
 	contrib := make([]uint64, n)
@@ -92,7 +93,7 @@ func PageRankGS(g *graph.Graph, opt kernel.Options) []float64 {
 		}
 	}
 	for it := 0; it < kernel.PRMaxIters; it++ {
-		dangling := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
 				if invDeg[u] == 0 {
@@ -102,7 +103,7 @@ func PageRankGS(g *graph.Graph, opt kernel.Options) []float64 {
 			return d
 		})
 		share := kernel.PRDamping * dangling / float64(n)
-		delta := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		delta := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for vi := lo; vi < hi; vi++ {
 				v := graph.NodeID(vi)

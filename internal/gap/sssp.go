@@ -6,7 +6,6 @@ import (
 
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
-	"gapbench/internal/par"
 )
 
 // fusionThreshold is the bucket-fusion size cap: a worker keeps processing
@@ -22,6 +21,7 @@ const fusionThreshold = 1024
 func DeltaStep(g *graph.Graph, src graph.NodeID, delta kernel.Dist, opt kernel.Options, fusion bool) []kernel.Dist {
 	n := int(g.NumNodes())
 	workers := opt.EffectiveWorkers()
+	exec := opt.Exec()
 	dist := make([]kernel.Dist, n)
 	for i := range dist {
 		dist[i] = kernel.Inf
@@ -72,9 +72,12 @@ func DeltaStep(g *graph.Graph, src graph.NodeID, delta kernel.Dist, opt kernel.O
 		highBound := lowBound + delta
 
 		// Drain the shared frontier with dynamically scheduled chunks while
-		// retaining a stable worker id for the private bins.
+		// retaining a stable worker id for the private bins: one machine
+		// slot per worker, each pulling chunks off a shared cursor. (Before
+		// the machine existed this was a hand-rolled goroutine fork-join,
+		// re-spawned every bucket — exactly the per-round launch overhead
+		// the paper's §V-A Road analysis is about.)
 		var cursor atomic.Int64
-		var wg sync.WaitGroup
 		active := workers
 		if active > len(frontier) {
 			active = len(frontier)
@@ -82,52 +85,47 @@ func DeltaStep(g *graph.Graph, src graph.NodeID, delta kernel.Dist, opt kernel.O
 		if active < 1 {
 			active = 1
 		}
-		wg.Add(active)
-		for w := 0; w < active; w++ {
-			go func(w int) {
-				defer wg.Done()
-				const chunk = 64
-				for {
-					lo := int(cursor.Add(chunk)) - chunk
-					if lo >= len(frontier) {
-						break
+		exec.ForWorker(active, active, func(w, _, _ int) {
+			const chunk = 64
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= len(frontier) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				for _, u := range frontier[lo:hi] {
+					du := atomic.LoadInt32(&dist[u])
+					if du >= lowBound && du < highBound {
+						relax(w, u, du)
 					}
-					hi := lo + chunk
-					if hi > len(frontier) {
-						hi = len(frontier)
-					}
-					for _, u := range frontier[lo:hi] {
-						du := atomic.LoadInt32(&dist[u])
-						if du >= lowBound && du < highBound {
-							relax(w, u, du)
-						}
-						// Entries below lowBound were settled in an earlier
-						// bucket (stale duplicates) and are skipped.
+					// Entries below lowBound were settled in an earlier
+					// bucket (stale duplicates) and are skipped.
+				}
+			}
+			if !fusion {
+				return
+			}
+			// Bucket fusion: while this worker's own bin for the current
+			// bucket stays small, process it immediately. Priority order
+			// is preserved (everything in it belongs to this bucket) and
+			// a full barrier+merge round is saved each time.
+			for bucket < len(bins[w]) {
+				batch := bins[w][bucket]
+				if len(batch) == 0 || len(batch) > fusionThreshold {
+					break
+				}
+				bins[w][bucket] = nil
+				for _, u := range batch {
+					du := atomic.LoadInt32(&dist[u])
+					if du >= lowBound && du < highBound {
+						relax(w, u, du)
 					}
 				}
-				if !fusion {
-					return
-				}
-				// Bucket fusion: while this worker's own bin for the current
-				// bucket stays small, process it immediately. Priority order
-				// is preserved (everything in it belongs to this bucket) and
-				// a full barrier+merge round is saved each time.
-				for bucket < len(bins[w]) {
-					batch := bins[w][bucket]
-					if len(batch) == 0 || len(batch) > fusionThreshold {
-						break
-					}
-					bins[w][bucket] = nil
-					for _, u := range batch {
-						du := atomic.LoadInt32(&dist[u])
-						if du >= lowBound && du < highBound {
-							relax(w, u, du)
-						}
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
+			}
+		})
 
 		// Barrier: find the next non-empty bucket across all workers and
 		// merge those bins into the shared frontier.
@@ -165,6 +163,7 @@ func DeltaStep(g *graph.Graph, src graph.NodeID, delta kernel.Dist, opt kernel.O
 func DeltaStepLightHeavy(g *graph.Graph, src graph.NodeID, delta kernel.Dist, opt kernel.Options) []kernel.Dist {
 	n := int(g.NumNodes())
 	workers := opt.EffectiveWorkers()
+	exec := opt.Exec()
 	dist := make([]kernel.Dist, n)
 	for i := range dist {
 		dist[i] = kernel.Inf
@@ -217,7 +216,7 @@ func DeltaStepLightHeavy(g *graph.Graph, src graph.NodeID, delta kernel.Dist, op
 		for len(frontier) > 0 {
 			var mu sync.Mutex
 			work := frontier
-			par.ForWorker(len(work), workers, func(w, i0, i1 int) {
+			exec.ForWorker(len(work), workers, func(w, i0, i1 int) {
 				var local []graph.NodeID
 				for i := i0; i < i1; i++ {
 					u := work[i]
@@ -245,7 +244,7 @@ func DeltaStepLightHeavy(g *graph.Graph, src graph.NodeID, delta kernel.Dist, op
 		}
 		// Heavy phase: each settled vertex relaxes its heavy edges once.
 		heavy := settled
-		par.ForWorker(len(heavy), workers, func(w, i0, i1 int) {
+		exec.ForWorker(len(heavy), workers, func(w, i0, i1 int) {
 			for i := i0; i < i1; i++ {
 				u := heavy[i]
 				relax(w, u, atomic.LoadInt32(&dist[u]), false)

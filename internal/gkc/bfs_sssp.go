@@ -13,7 +13,7 @@ import (
 // per-thread local buffers flushed in bulk to the shared next-frontier
 // (§III-E's false-sharing reduction), and the dense middle runs the pull
 // step over the in-CSR.
-func bfs(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
+func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
 	n := int64(g.NumNodes())
 	parent := make([]graph.NodeID, n)
 	for i := range parent {
@@ -44,7 +44,7 @@ func bfs(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
 			for {
 				prev := awake
 				curr.Reset()
-				awake = par.ReduceInt64(int(n), workers, func(lo, hi int) int64 {
+				awake = exec.ReduceInt64(int(n), workers, func(lo, hi int) int64 {
 					var count int64
 					for u := lo; u < hi; u++ {
 						//gapvet:ignore atomic-plain-mix -- pull phase: each u writes only parent[u]; barrier-separated from the push phase's CAS
@@ -96,7 +96,7 @@ func bfs(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
 			var newScout atomic.Int64
 			shared := graph.NewSlidingQueue(n)
 			cur := frontier
-			par.ForDynamic(len(cur), 64, workers, func(lo, hi int) {
+			exec.ForDynamic(len(cur), 64, workers, func(lo, hi int) {
 				//gapvet:ignore alloc-in-timed-region -- QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 				local := make([]graph.NodeID, 0, localBufferSize)
 				var sc int64
@@ -129,7 +129,7 @@ func bfs(g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
 // sssp is GKC's delta-stepping: per-worker bucket bins, a serial fast path
 // for tiny frontiers, and no bucket fusion — the omission behind GKC's weak
 // Road SSSP showing (18% in Table V) despite its strong BFS there.
-func sssp(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []kernel.Dist {
+func sssp(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []kernel.Dist {
 	n := int(g.NumNodes())
 	dist := make([]kernel.Dist, n)
 	for i := range dist {
@@ -159,7 +159,7 @@ func sssp(g *graph.Graph, src graph.NodeID, delta kernel.Dist, workers int) []ke
 		// neither a bucket-fusion equivalent nor BFS's serial fast path in
 		// its SSSP, which is why its Road SSSP trails GAP badly in the paper
 		// (Table V: 18%) even though its Road BFS leads.
-		par.ForWorker(len(frontier), workers, func(w, i0, i1 int) {
+		exec.ForWorker(len(frontier), workers, func(w, i0, i1 int) {
 			for i := i0; i < i1; i++ {
 				u := frontier[i]
 				du := atomic.LoadInt32(&dist[u])

@@ -2,7 +2,6 @@ package gkc
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"gapbench/internal/graph"
@@ -13,7 +12,7 @@ import (
 // pagerank is GKC's Gauss-Seidel PageRank with a 4-way unrolled gather loop
 // standing in for the AVX-256 gathers of the original (§III-E notes GKC
 // found AVX-256 faster than AVX-512 on the test platform).
-func pagerank(g *graph.Graph, workers int) []float64 {
+func pagerank(exec *par.Machine, g *graph.Graph, workers int) []float64 {
 	n := int(g.NumNodes())
 	if n == 0 {
 		return nil
@@ -30,7 +29,7 @@ func pagerank(g *graph.Graph, workers int) []float64 {
 		}
 	}
 	for it := 0; it < kernel.PRMaxIters; it++ {
-		dangling := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
 				if invDeg[u] == 0 {
@@ -40,7 +39,7 @@ func pagerank(g *graph.Graph, workers int) []float64 {
 			return d
 		})
 		danglingShare := kernel.PRDamping * dangling / float64(n)
-		delta := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		delta := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for vi := lo; vi < hi; vi++ {
 				v := graph.NodeID(vi)
@@ -81,7 +80,7 @@ func pagerank(g *graph.Graph, workers int) []float64 {
 // which is exactly why it does not collapse on Urand the way sampling-based
 // Afforest does (§V-C reproduces Sutton et al.'s observation), while paying
 // more passes than Afforest on graphs with an early giant component.
-func hybridSV(g *graph.Graph, workers int) []graph.NodeID {
+func hybridSV(exec *par.Machine, g *graph.Graph, workers int) []graph.NodeID {
 	n := int(g.NumNodes())
 	comp := make([]graph.NodeID, n)
 	for i := range comp {
@@ -93,14 +92,14 @@ func hybridSV(g *graph.Graph, workers int) []graph.NodeID {
 	for {
 		// Hooking sweep: linear scan of the out-CSR (and in-CSR for directed
 		// graphs) — sequential memory traffic, the "SIMD-friendly" layout.
-		changed := hookSweep(g, comp, workers, false)
+		changed := hookSweep(exec, g, comp, workers, false)
 		if g.Directed() {
-			if hookSweep(g, comp, workers, true) {
+			if hookSweep(exec, g, comp, workers, true) {
 				changed = true
 			}
 		}
 		// Shortcut sweep: full pointer jumping.
-		par.ForBlocked(n, workers, func(lo, hi int) {
+		exec.ForBlocked(n, workers, func(lo, hi int) {
 			for u := lo; u < hi; u++ {
 				c := atomic.LoadInt32(&comp[u])
 				for {
@@ -121,10 +120,10 @@ func hybridSV(g *graph.Graph, workers int) []graph.NodeID {
 
 // hookSweep hooks every edge's higher root under the lower one, returning
 // whether anything changed.
-func hookSweep(g *graph.Graph, comp []graph.NodeID, workers int, useIn bool) bool {
+func hookSweep(exec *par.Machine, g *graph.Graph, comp []graph.NodeID, workers int, useIn bool) bool {
 	n := int(g.NumNodes())
 	var changed atomic.Bool
-	par.ForBlocked(n, workers, func(lo, hi int) {
+	exec.ForBlocked(n, workers, func(lo, hi int) {
 		localChanged := false
 		for u := lo; u < hi; u++ {
 			var neigh []graph.NodeID
@@ -160,7 +159,7 @@ func hookSweep(g *graph.Graph, comp []graph.NodeID, workers int, useIn bool) boo
 // brandes is GKC's Brandes BC: level-synchronous with the same serial
 // small-frontier fast path as BFS, keeping it within a few percent of GAP
 // everywhere (Table V: 97–107%).
-func brandes(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
+func brandes(exec *par.Machine, g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
 	n := int(g.NumNodes())
 	scores := make([]float64, n)
 	if n == 0 {
@@ -171,7 +170,7 @@ func brandes(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
 	delta := make([]float64, n)
 
 	for _, src := range sources {
-		par.ForBlocked(n, workers, func(lo, hi int) {
+		exec.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from the forward phase's CAS on depth
 				depth[i] = -1
@@ -198,7 +197,7 @@ func brandes(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
 				}
 			} else {
 				shared := graph.NewSlidingQueue(int64(n))
-				par.ForDynamic(len(current), 64, workers, func(lo, hi int) {
+				exec.ForDynamic(len(current), 64, workers, func(lo, hi int) {
 					//gapvet:ignore alloc-in-timed-region -- QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 					local := make([]graph.NodeID, 0, 256)
 					for i := lo; i < hi; i++ {
@@ -229,7 +228,7 @@ func brandes(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
 
 		for l := 1; l < len(levels); l++ {
 			level := levels[l]
-			par.ForDynamic(len(level), 128, workers, func(lo, hi int) {
+			exec.ForDynamic(len(level), 128, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					v := level[i]
 					var s float64
@@ -244,7 +243,7 @@ func brandes(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
 		}
 		for l := len(levels) - 2; l >= 0; l-- {
 			level := levels[l]
-			par.ForDynamic(len(level), 128, workers, func(lo, hi int) {
+			exec.ForDynamic(len(level), 128, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					u := level[i]
 					var dd float64
@@ -283,7 +282,7 @@ func brandes(g *graph.Graph, sources []graph.NodeID, workers int) []float64 {
 // last — the cache-reuse trick §III-E/§V-F describes ("set intersections
 // with vectors that were previously visited, thereby increasing data reuse
 // in caches") — while low-degree rows use a plain cursor merge.
-func leeLowTC(u *graph.Graph, workers int) int64 {
+func leeLowTC(exec *par.Machine, u *graph.Graph, workers int) int64 {
 	n := int(u.NumNodes())
 	// Forward adjacency: neighbors strictly greater than the vertex.
 	index := make([]int64, n+1)
@@ -293,7 +292,7 @@ func leeLowTC(u *graph.Graph, workers int) int64 {
 		index[v+1] = index[v] + int64(len(neigh)-k)
 	}
 	fwd := make([]graph.NodeID, index[n])
-	par.ForBlocked(n, workers, func(lo, hi int) {
+	exec.ForBlocked(n, workers, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			neigh := u.OutNeighbors(graph.NodeID(v))
 			k := lowerBound(neigh, graph.NodeID(v)+1)
@@ -311,48 +310,47 @@ func leeLowTC(u *graph.Graph, workers int) int64 {
 	for w := range markers {
 		markers[w] = make([]bool, n)
 	}
+	// One machine slot per worker pulls dynamic chunks off a shared cursor:
+	// the slot id w keys the private marker array, and any single slot can
+	// drain the cursor to completion, so the schedule is correct even when
+	// slots run sequentially. (This was a hand-rolled goroutine fork-join
+	// before the machine existed.)
 	var cursor atomicCursor
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			mark := markers[w]
-			var count int64
-			for {
-				lo, hi := cursor.take(n, 32)
-				if lo >= n {
-					break
-				}
-				for a := lo; a < hi; a++ {
-					na := row(graph.NodeID(a))
-					if len(na) >= markerThreshold {
-						// Marker path: one pass to set, O(1) membership per
-						// candidate, one pass to clear.
-						for _, b := range na {
-							mark[b] = true
-						}
-						for _, b := range na {
-							for _, w2 := range row(b) {
-								if mark[w2] {
-									count++
-								}
+	exec.ForWorker(workers, workers, func(w, _, _ int) {
+		mark := markers[w]
+		var count int64
+		for {
+			lo, hi := cursor.take(n, 32)
+			if lo >= n {
+				break
+			}
+			for a := lo; a < hi; a++ {
+				na := row(graph.NodeID(a))
+				if len(na) >= markerThreshold {
+					// Marker path: one pass to set, O(1) membership per
+					// candidate, one pass to clear.
+					for _, b := range na {
+						mark[b] = true
+					}
+					for _, b := range na {
+						for _, w2 := range row(b) {
+							if mark[w2] {
+								count++
 							}
 						}
-						for _, b := range na {
-							mark[b] = false
-						}
-					} else {
-						for _, b := range na {
-							count += mergeFwd(na, row(b))
-						}
+					}
+					for _, b := range na {
+						mark[b] = false
+					}
+				} else {
+					for _, b := range na {
+						count += mergeFwd(na, row(b))
 					}
 				}
 			}
-			partial[w] = count
-		}(w)
-	}
-	wg.Wait()
+		}
+		partial[w] = count
+	})
 	var total int64
 	for _, p := range partial {
 		total += p

@@ -5,6 +5,7 @@ import (
 
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
+	"gapbench/internal/par"
 )
 
 // TuneResult records one autotuner candidate.
@@ -25,6 +26,7 @@ func Autotune(g *graph.Graph, kernelName string, src graph.NodeID, trials, worke
 	if trials < 1 {
 		trials = 1
 	}
+	exec := par.Default() // tuning is untimed; the default machine is fine
 	candidates := scheduleSpace(kernelName, g)
 	results := make([]TuneResult, 0, len(candidates))
 	best := candidates[0]
@@ -36,15 +38,15 @@ func Autotune(g *graph.Graph, kernelName string, src graph.NodeID, trials, worke
 			start := time.Now()
 			switch kernelName {
 			case "bfs":
-				_ = bfs(g, src, cand, workers)
+				_ = bfs(exec, g, src, cand, workers)
 			case "sssp":
-				_ = sssp(g, src, delta, cand, workers)
+				_ = sssp(exec, g, src, delta, cand, workers)
 			case "pr":
-				_ = pr(g, cand, workers)
+				_ = pr(exec, g, cand, workers)
 			case "cc":
-				_ = cc(g, cand, workers)
+				_ = cc(exec, g, cand, workers)
 			default: // bc
-				_ = bc(g, []graph.NodeID{src}, cand, workers)
+				_ = bc(exec, g, []graph.NodeID{src}, cand, workers)
 			}
 			if s := time.Since(start).Seconds(); sec < 0 || s < sec {
 				sec = s

@@ -14,7 +14,7 @@ import (
 // Road schedule), and the backward pass walks the transposed graph (§V-E:
 // "GraphIt transposes the graph for the backward pass"): dependencies are
 // pushed from each successor to its parents over in-edges.
-func bc(g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []float64 {
+func bc(exec *par.Machine, g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []float64 {
 	n := int(g.NumNodes())
 	scores := make([]float64, n)
 	if n == 0 {
@@ -25,7 +25,7 @@ func bc(g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []f
 	delta := make([]float64, n)
 
 	for _, src := range sources {
-		par.ForBlocked(n, workers, func(lo, hi int) {
+		exec.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from the forward phase's CAS on depth
 				depth[i] = -1
@@ -45,7 +45,7 @@ func bc(g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []f
 		levels = append(levels, frontier)
 		for frontier.Size() > 0 {
 			d := int32(len(levels))
-			next := EdgesetApplyPush(g, frontier, sched.Frontier, workers, func(u, v graph.NodeID) bool {
+			next := EdgesetApplyPush(exec, g, frontier, sched.Frontier, workers, func(u, v graph.NodeID) bool {
 				return atomic.LoadInt32(&depth[v]) < 0 &&
 					atomic.CompareAndSwapInt32(&depth[v], -1, d)
 			})
@@ -59,7 +59,7 @@ func bc(g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []f
 		// Path counts per level (pull from parents over in-edges).
 		for l := 1; l < len(levels); l++ {
 			level := levels[l].ToList()
-			par.ForDynamic(len(level.list), 64, workers, func(lo, hi int) {
+			exec.ForDynamic(len(level.list), 64, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					v := level.list[i]
 					var s float64
@@ -77,7 +77,7 @@ func bc(g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []f
 		// dependency share to parents through in-edges; parents gather.
 		for l := len(levels) - 2; l >= 0; l-- {
 			level := levels[l].ToList()
-			par.ForDynamic(len(level.list), 64, workers, func(lo, hi int) {
+			exec.ForDynamic(len(level.list), 64, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					u := level.list[i]
 					var d float64
@@ -102,7 +102,7 @@ func bc(g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []f
 		}
 	}
 	if maxScore > 0 {
-		par.ForBlocked(n, workers, func(lo, hi int) {
+		exec.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				scores[i] /= maxScore
 			}
@@ -116,7 +116,7 @@ func bc(g *graph.Graph, sources []graph.NodeID, sched Schedule, workers int) []f
 // merge is written with branch-light arithmetic stepping. Optimized mode on
 // small graphs switches back to the naive merge ("Changing back to the naive
 // intersection method used in GAP improved performance").
-func tc(g *graph.Graph, opt kernel.Options, workers int) int64 {
+func tc(exec *par.Machine, g *graph.Graph, opt kernel.Options, workers int) int64 {
 	u := opt.Undirected(g)
 	if opt.Mode == kernel.Optimized && opt.RelabeledView != nil {
 		u = opt.RelabeledView
@@ -126,7 +126,7 @@ func tc(g *graph.Graph, opt kernel.Options, workers int) int64 {
 	}
 	naive := opt.Mode == kernel.Optimized && u.NumNodes() < 1<<17
 	n := int(u.NumNodes())
-	return par.ReduceDynamicInt64(n, 64, workers, func(lo, hi int) int64 {
+	return exec.ReduceDynamicInt64(n, 64, workers, func(lo, hi int) int64 {
 		var count int64
 		for a := lo; a < hi; a++ {
 			na := u.OutNeighbors(graph.NodeID(a))

@@ -94,11 +94,11 @@ func (vs *VertexSet) Contains(v graph.NodeID) bool {
 // EdgesetApplyPush traverses out-edges of the frontier, calling apply(u,v)
 // for each; apply returns true when v newly enters the next frontier. The
 // output layout follows the schedule.
-func EdgesetApplyPush(g *graph.Graph, frontier *VertexSet, layout FrontierLayout, workers int, apply func(u, v graph.NodeID) bool) *VertexSet {
+func EdgesetApplyPush(exec *par.Machine, g *graph.Graph, frontier *VertexSet, layout FrontierLayout, workers int, apply func(u, v graph.NodeID) bool) *VertexSet {
 	src := frontier.ToList()
 	out := NewVertexSet(frontier.n, layout)
 	if layout == Bitvector {
-		par.ForDynamic(len(src.list), 64, workers, func(lo, hi int) {
+		exec.ForDynamic(len(src.list), 64, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				u := src.list[i]
 				for _, v := range g.OutNeighbors(u) {
@@ -113,7 +113,7 @@ func EdgesetApplyPush(g *graph.Graph, frontier *VertexSet, layout FrontierLayout
 		return out
 	}
 	var mu chunkCollect
-	par.ForDynamic(len(src.list), 64, workers, func(lo, hi int) {
+	exec.ForDynamic(len(src.list), 64, workers, func(lo, hi int) {
 		var local []graph.NodeID
 		for i := lo; i < hi; i++ {
 			u := src.list[i]
@@ -133,11 +133,11 @@ func EdgesetApplyPush(g *graph.Graph, frontier *VertexSet, layout FrontierLayout
 // EdgesetApplyPull scans vertices where cond holds, pulling over in-edges
 // from frontier members until applyTo accepts one; accepted vertices form
 // the next frontier (bitvector layout).
-func EdgesetApplyPull(g *graph.Graph, frontier *VertexSet, workers int, cond func(v graph.NodeID) bool, applyTo func(u, v graph.NodeID) bool) *VertexSet {
+func EdgesetApplyPull(exec *par.Machine, g *graph.Graph, frontier *VertexSet, workers int, cond func(v graph.NodeID) bool, applyTo func(u, v graph.NodeID) bool) *VertexSet {
 	fb := frontier.ToBitvector()
 	out := NewVertexSet(frontier.n, Bitvector)
 	var count atomic.Int64
-	par.ForBlocked(int(frontier.n), workers, func(lo, hi int) {
+	exec.ForBlocked(int(frontier.n), workers, func(lo, hi int) {
 		var local int64
 		for vi := lo; vi < hi; vi++ {
 			v := graph.NodeID(vi)

@@ -6,6 +6,7 @@ import (
 	"gapbench/internal/generate"
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
+	"gapbench/internal/par"
 	"gapbench/internal/testutil"
 )
 
@@ -57,7 +58,7 @@ func TestEdgesetApplyPush(t *testing.T) {
 	visited[0] = true
 	for _, layout := range []FrontierLayout{SparseList, Bitvector} {
 		v2 := append([]bool(nil), visited...)
-		next := EdgesetApplyPush(g, frontier, layout, 2, func(u, v graph.NodeID) bool {
+		next := EdgesetApplyPush(par.Default(), g, frontier, layout, 2, func(u, v graph.NodeID) bool {
 			if !v2[v] {
 				v2[v] = true
 				return true
@@ -78,7 +79,7 @@ func TestEdgesetApplyPull(t *testing.T) {
 	}
 	frontier := FromList(3, []graph.NodeID{0})
 	parent := []graph.NodeID{0, -1, -1}
-	next := EdgesetApplyPull(g, frontier, 2,
+	next := EdgesetApplyPull(par.Default(), g, frontier, 2,
 		func(v graph.NodeID) bool { return parent[v] < 0 },
 		func(u, v graph.NodeID) bool { parent[v] = u; return true })
 	if next.Size() != 2 {
@@ -191,8 +192,8 @@ func TestLabelPropShortCircuitEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain := cc(g, Schedule{}, 2)
-	short := cc(g, Schedule{ShortCircuit: true}, 2)
+	plain := cc(par.Default(), g, Schedule{}, 2)
+	short := cc(par.Default(), g, Schedule{ShortCircuit: true}, 2)
 	// Label values may differ; partition must not.
 	canon := func(labels []graph.NodeID) map[graph.NodeID]graph.NodeID {
 		m := map[graph.NodeID]graph.NodeID{}

@@ -12,7 +12,7 @@ import (
 // bfs is the GraphIt BFS: edgeset-apply rounds with the traversal direction
 // chosen by the schedule (DirOpt per-round, or PushOnly for the Optimized
 // Road schedule that skips the active-vertex counting overhead, §V-A).
-func bfs(g *graph.Graph, src graph.NodeID, sched Schedule, workers int) []graph.NodeID {
+func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, sched Schedule, workers int) []graph.NodeID {
 	n := int64(g.NumNodes())
 	parent := make([]graph.NodeID, n)
 	for i := range parent {
@@ -35,7 +35,7 @@ func bfs(g *graph.Graph, src graph.NodeID, sched Schedule, workers int) []graph.
 			cur := frontier.ToBitvector()
 			for {
 				prev := awake
-				next := EdgesetApplyPull(g, cur, workers,
+				next := EdgesetApplyPull(exec, g, cur, workers,
 					//gapvet:ignore atomic-plain-mix -- pull phase: each v writes only parent[v]; barrier-separated from the push phase's CAS
 					func(v graph.NodeID) bool { return parent[v] < 0 },
 					func(u, v graph.NodeID) bool { parent[v] = u; return true })
@@ -50,7 +50,7 @@ func bfs(g *graph.Graph, src graph.NodeID, sched Schedule, workers int) []graph.
 		} else {
 			edgesToCheck -= scout
 			var newScout atomic.Int64
-			frontier = EdgesetApplyPush(g, frontier, sched.Frontier, workers, func(u, v graph.NodeID) bool {
+			frontier = EdgesetApplyPush(exec, g, frontier, sched.Frontier, workers, func(u, v graph.NodeID) bool {
 				if atomic.LoadInt32(&parent[v]) < 0 &&
 					atomic.CompareAndSwapInt32(&parent[v], -1, u) {
 					newScout.Add(g.OutDegree(v))
@@ -72,7 +72,7 @@ func bfs(g *graph.Graph, src graph.NodeID, sched Schedule, workers int) []graph.
 // sssp is GraphIt's delta-stepping with the bucket-fusion optimization it
 // originated (§VI): a thread whose next bucket has the same priority keeps
 // processing without synchronizing, cutting rounds ~10x on Road.
-func sssp(g *graph.Graph, src graph.NodeID, delta kernel.Dist, sched Schedule, workers int) []kernel.Dist {
+func sssp(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.Dist, sched Schedule, workers int) []kernel.Dist {
 	n := int(g.NumNodes())
 	dist := make([]kernel.Dist, n)
 	for i := range dist {
@@ -104,7 +104,7 @@ func sssp(g *graph.Graph, src graph.NodeID, delta kernel.Dist, sched Schedule, w
 	for {
 		lo := kernel.Dist(bucket) * delta
 		hi := lo + delta
-		par.ForWorker(len(frontier), workers, func(wid, lo2, hi2 int) {
+		exec.ForWorker(len(frontier), workers, func(wid, lo2, hi2 int) {
 			w := &wb[wid]
 			relax := func(u graph.NodeID) {
 				du := atomic.LoadInt32(&dist[u])
@@ -186,7 +186,7 @@ func propagateMin(comp []graph.NodeID, cu int32, v graph.NodeID, local []graph.N
 // algorithms" (§V-C) — the largest deliberate performance gap in the paper's
 // tables. The short-circuit schedule pointer-jumps label chains between
 // rounds, the Optimized Road variant worth ~3x (still far behind).
-func cc(g *graph.Graph, sched Schedule, workers int) []graph.NodeID {
+func cc(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []graph.NodeID {
 	n := int(g.NumNodes())
 	comp := make([]graph.NodeID, n)
 	for i := range comp {
@@ -202,7 +202,7 @@ func cc(g *graph.Graph, sched Schedule, workers int) []graph.NodeID {
 
 	for len(frontier) > 0 {
 		var collect chunkCollect
-		par.ForDynamic(len(frontier), 128, workers, func(lo, hi int) {
+		exec.ForDynamic(len(frontier), 128, workers, func(lo, hi int) {
 			var local []graph.NodeID
 			for i := lo; i < hi; i++ {
 				u := frontier[i]
@@ -221,7 +221,7 @@ func cc(g *graph.Graph, sched Schedule, workers int) []graph.NodeID {
 		frontier = collect.take()
 		if sched.ShortCircuit {
 			// Pointer-jump chains: comp[v] <- comp[comp[v]] to a fixed point.
-			par.ForBlocked(n, workers, func(lo, hi int) {
+			exec.ForBlocked(n, workers, func(lo, hi int) {
 				for v := lo; v < hi; v++ {
 					c := atomic.LoadInt32(&comp[v])
 					for {
@@ -243,7 +243,7 @@ func cc(g *graph.Graph, sched Schedule, workers int) []graph.NodeID {
 // in-edge array is split into source-range segments so the random reads of
 // contributions stay within a cache-sized window. Building the segmented
 // representation is timed and "amortized within 2-5 iterations".
-func pr(g *graph.Graph, sched Schedule, workers int) []float64 {
+func pr(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []float64 {
 	n := int(g.NumNodes())
 	if n == 0 {
 		return nil
@@ -263,7 +263,7 @@ func pr(g *graph.Graph, sched Schedule, workers int) []float64 {
 	}
 
 	for it := 0; it < kernel.PRMaxIters; it++ {
-		dangling := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
 				if deg := g.OutDegree(graph.NodeID(u)); deg > 0 {
@@ -278,13 +278,13 @@ func pr(g *graph.Graph, sched Schedule, workers int) []float64 {
 		danglingShare := kernel.PRDamping * dangling / float64(n)
 
 		if segments != nil {
-			par.ForBlocked(n, workers, func(lo, hi int) {
+			exec.ForBlocked(n, workers, func(lo, hi int) {
 				for v := lo; v < hi; v++ {
 					next[v] = 0
 				}
 			})
 			for _, seg := range segments {
-				par.ForBlocked(n, workers, func(lo, hi int) {
+				exec.ForBlocked(n, workers, func(lo, hi int) {
 					for v := lo; v < hi; v++ {
 						sum := 0.0
 						for _, u := range seg.neigh[seg.index[v]:seg.index[v+1]] {
@@ -294,13 +294,13 @@ func pr(g *graph.Graph, sched Schedule, workers int) []float64 {
 					}
 				})
 			}
-			par.ForBlocked(n, workers, func(lo, hi int) {
+			exec.ForBlocked(n, workers, func(lo, hi int) {
 				for v := lo; v < hi; v++ {
 					next[v] = base + danglingShare + kernel.PRDamping*next[v]
 				}
 			})
 		} else {
-			par.ForBlocked(n, workers, func(lo, hi int) {
+			exec.ForBlocked(n, workers, func(lo, hi int) {
 				for v := lo; v < hi; v++ {
 					sum := 0.0
 					for _, u := range g.InNeighbors(graph.NodeID(v)) {
@@ -310,7 +310,7 @@ func pr(g *graph.Graph, sched Schedule, workers int) []float64 {
 				}
 			})
 		}
-		delta := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		delta := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for v := lo; v < hi; v++ {
 				d += math.Abs(next[v] - ranks[v])

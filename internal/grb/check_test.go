@@ -3,6 +3,8 @@
 package grb
 
 import (
+	"gapbench/internal/par"
+
 	"strings"
 	"testing"
 )
@@ -52,9 +54,9 @@ func TestGrbcheckCleanOpsPass(t *testing.T) {
 	q := NewSparse[int64](a.NCols())
 	q.SetElement(2, 1)
 	q.SetElement(0, 1)
-	VxM(q, a, MinFirst(), nil, 2)
-	MxV(a, q, MinFirst(), nil, 2)
-	MxVFull(a, NewFull[int64](a.NCols(), 1), MinFirst(), 2)
+	VxM(par.Default(), q, a, MinFirst(), nil, 2)
+	MxV(par.Default(), a, q, MinFirst(), nil, 2)
+	MxVFull(par.Default(), a, NewFull[int64](a.NCols(), 1), MinFirst(), 2)
 	EWiseAdd(q, q, func(x, y int64) int64 { return x + y })
 	EWiseMult(q, q, func(x, y int64) int64 { return x * y })
 	a.Transpose()
@@ -72,7 +74,7 @@ func TestGrbcheckCorruptedVector(t *testing.T) {
 		q.SetElement(0, 1)
 		q.SetElement(2, 1)
 		q.ind[0], q.ind[1] = q.ind[1], q.ind[0] // corrupt: 2 before 0
-		mustPanic(t, func() { VxM(q, a, MinFirst(), nil, 1) },
+		mustPanic(t, func() { VxM(par.Default(), q, a, MinFirst(), nil, 1) },
 			"VxM input q", "sparse-sorted-unique")
 	})
 
@@ -81,7 +83,7 @@ func TestGrbcheckCorruptedVector(t *testing.T) {
 		q.SetElement(1, 1)
 		q.ind = append(q.ind, 1) // corrupt: 1 stored twice
 		q.val = append(q.val, 5)
-		mustPanic(t, func() { VxM(q, a, MinFirst(), nil, 1) },
+		mustPanic(t, func() { VxM(par.Default(), q, a, MinFirst(), nil, 1) },
 			"VxM input q", "sparse-sorted-unique")
 	})
 
@@ -89,7 +91,7 @@ func TestGrbcheckCorruptedVector(t *testing.T) {
 		q := NewSparse[int64](a.NCols())
 		q.SetElement(1, 1)
 		q.ind = append(q.ind, 3) // corrupt: index without a value
-		mustPanic(t, func() { MxV(a, q, MinFirst(), nil, 1) },
+		mustPanic(t, func() { MxV(par.Default(), a, q, MinFirst(), nil, 1) },
 			"MxV input q", "sparse-length-agreement")
 	})
 
@@ -97,14 +99,14 @@ func TestGrbcheckCorruptedVector(t *testing.T) {
 		q := NewSparse[int64](a.NCols())
 		q.SetElement(1, 1)
 		q.ind[0] = a.NCols() + 7 // corrupt: beyond the vector
-		mustPanic(t, func() { MxV(a, q, MinFirst(), nil, 1) },
+		mustPanic(t, func() { MxV(par.Default(), a, q, MinFirst(), nil, 1) },
 			"MxV input q", "index-in-range")
 	})
 
 	t.Run("truncated dense backing", func(t *testing.T) {
 		q := NewFull[int64](a.NCols(), 1)
 		q.dense = q.dense[:len(q.dense)-1] // corrupt: short array
-		mustPanic(t, func() { MxVFull(a, q, MinFirst(), 1) },
+		mustPanic(t, func() { MxVFull(par.Default(), a, q, MinFirst(), 1) },
 			"MxVFull input q", "dense-length")
 	})
 
@@ -137,14 +139,14 @@ func TestGrbcheckCorruptedMatrix(t *testing.T) {
 	t.Run("non-monotone rowPtr", func(t *testing.T) {
 		a := testMatrix(t)
 		a.rowPtr[2], a.rowPtr[1] = a.rowPtr[1], a.rowPtr[2]+2 // corrupt
-		mustPanic(t, func() { VxM(q, a, MinFirst(), nil, 1) },
+		mustPanic(t, func() { VxM(par.Default(), q, a, MinFirst(), nil, 1) },
 			"VxM input A", "rowptr-monotone")
 	})
 
 	t.Run("column index out of range", func(t *testing.T) {
 		a := testMatrix(t)
 		a.colInd[0] = a.NCols() + 3 // corrupt
-		mustPanic(t, func() { MxMPlusPairReduce(a, a, 1) },
+		mustPanic(t, func() { MxMPlusPairReduce(par.Default(), a, a, 1) },
 			"MxMPlusPairReduce input L", "colind-in-range")
 	})
 
@@ -158,7 +160,7 @@ func TestGrbcheckCorruptedMatrix(t *testing.T) {
 	t.Run("weights not parallel to entries", func(t *testing.T) {
 		a := testMatrix(t)
 		a.weight = []int32{1} // corrupt: 1 weight for many entries
-		mustPanic(t, func() { MxV(a, q, MinFirst(), nil, 1) },
+		mustPanic(t, func() { MxV(par.Default(), a, q, MinFirst(), nil, 1) },
 			"MxV input A", "weight-length")
 	})
 }
@@ -169,6 +171,6 @@ func TestGrbcheckCorruptedMask(t *testing.T) {
 	q := NewSparse[int64](a.NCols())
 	q.SetElement(0, 1)
 	short := NewMask(NewBitset(a.NCols()-2), false)
-	mustPanic(t, func() { VxM(q, a, MinFirst(), short, 1) },
+	mustPanic(t, func() { VxM(par.Default(), q, a, MinFirst(), short, 1) },
 		"VxM mask", "mask-length")
 }

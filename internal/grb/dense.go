@@ -64,7 +64,7 @@ func (d *DenseMatrix) RowValues(r int) []float64 { return d.val[r] }
 // advance for all k BC roots — the matrix-matrix product §V-E describes.
 // Parallelism is over the columns of the frontier rows (dynamic chunks over
 // present entries).
-func DenseMxM(f *DenseMatrix, a *Matrix, rowMask func(r int) *Mask, workers int) *DenseMatrix {
+func DenseMxM(exec *par.Machine, f *DenseMatrix, a *Matrix, rowMask func(r int) *Mask, workers int) *DenseMatrix {
 	checkMatrix("DenseMxM input A", a)
 	out := NewDenseMatrix(f.rows, f.n)
 	for r := 0; r < f.rows; r++ {
@@ -92,7 +92,7 @@ func DenseMxM(f *DenseMatrix, a *Matrix, rowMask func(r int) *Mask, workers int)
 			nw = 1
 		}
 		partial := make([][]contrib, nw)
-		par.ForWorker(len(active), workers, func(w, lo, hi int) {
+		exec.ForWorker(len(active), workers, func(w, lo, hi int) {
 			var local []contrib
 			for i := lo; i < hi; i++ {
 				k := active[i]

@@ -6,6 +6,7 @@ import (
 
 	"gapbench/internal/graph"
 	"gapbench/internal/grb"
+	"gapbench/internal/par"
 )
 
 func testMatrix(t *testing.T) *grb.Matrix {
@@ -161,7 +162,7 @@ func TestVxMMinPlus(t *testing.T) {
 	a := testMatrix(t)
 	q := grb.NewSparse[int32](4)
 	q.SetElement(0, 0) // dist[0] = 0
-	out := grb.VxM(q, a, grb.MinPlus(), nil, 2)
+	out := grb.VxM(par.Default(), q, a, grb.MinPlus(), nil, 2)
 	if x, ok := out.Extract(1); !ok || x != 5 {
 		t.Fatalf("relaxed dist[1] = %v,%v want 5", x, ok)
 	}
@@ -176,7 +177,7 @@ func TestVxMMasked(t *testing.T) {
 	q.SetElement(2, 2)
 	visited := grb.NewBitset(4)
 	visited.Set(0) // 0 already visited: masked out
-	out := grb.VxM(q, a, grb.AnySecondi(), grb.NewMask(visited, true), 2)
+	out := grb.VxM(par.Default(), q, a, grb.AnySecondi(), grb.NewMask(visited, true), 2)
 	if _, ok := out.Extract(0); ok {
 		t.Fatal("masked-out position written")
 	}
@@ -203,7 +204,7 @@ func TestMxVPull(t *testing.T) {
 	// include 2: rows of AT holding column 2 -> vertices 0 and 3.
 	q := grb.NewSparse[int64](4)
 	q.SetElement(2, 2)
-	out := grb.MxV(at, q, grb.AnySecondi(), nil, 2)
+	out := grb.MxV(par.Default(), at, q, grb.AnySecondi(), nil, 2)
 	if p, ok := out.Extract(0); !ok || p != 2 {
 		t.Fatalf("parent of 0 = %v,%v want 2", p, ok)
 	}
@@ -218,7 +219,7 @@ func TestMxVPull(t *testing.T) {
 func TestMxVFullPlusFirst(t *testing.T) {
 	at := testMatrixTranspose(t)
 	q := grb.NewFull[float64](4, 1)
-	out := grb.MxVFull(at, q, grb.PlusFirst(), 2)
+	out := grb.MxVFull(par.Default(), at, q, grb.PlusFirst(), 2)
 	// In-degrees: v0<-2, v1<-0, v2<-1, v3<-2 -> each sums 1 per in-edge.
 	want := []float64{1, 1, 1, 1}
 	for i, w := range want {
@@ -247,7 +248,7 @@ func TestMxMPlusPairReduceTriangle(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := grb.FromGraph(g, false, false)
-	if got := grb.MxMPlusPairReduce(a.Tril(-1), a.Triu(1), 2); got != 1 {
+	if got := grb.MxMPlusPairReduce(par.Default(), a.Tril(-1), a.Triu(1), 2); got != 1 {
 		t.Fatalf("triangles = %d, want 1", got)
 	}
 }
@@ -453,7 +454,7 @@ func TestGenericSemiringPaths(t *testing.T) {
 	a := testMatrix(t)
 	q := grb.NewSparse[int64](4)
 	q.SetElement(2, 10)
-	push := grb.VxM(q, a, maxSecond, nil, 2)
+	push := grb.VxM(par.Default(), q, a, maxSecond, nil, 2)
 	// Row 2 holds (0,w=1) and (3,w=9): outputs 11 and 19.
 	if x, _ := push.Extract(0); x != 11 {
 		t.Fatalf("push[0] = %d, want 11", x)
@@ -462,11 +463,11 @@ func TestGenericSemiringPaths(t *testing.T) {
 		t.Fatalf("push[3] = %d, want 19", x)
 	}
 	at := testMatrixTranspose(t)
-	pull := grb.MxV(at, q, maxSecond, nil, 2)
+	pull := grb.MxV(par.Default(), at, q, maxSecond, nil, 2)
 	if x, ok := pull.Extract(0); !ok || x != 10 { // AT row 0: in-neighbor 2, structural weight... transpose keeps no weights here
 		t.Fatalf("pull[0] = %d,%v want 10", x, ok)
 	}
-	full := grb.MxVFull(at, grb.NewFull[int64](4, 5), maxSecond, 2)
+	full := grb.MxVFull(par.Default(), at, grb.NewFull[int64](4, 5), maxSecond, 2)
 	if full.Dense()[0] != 5 {
 		t.Fatalf("full[0] = %d, want 5", full.Dense()[0])
 	}
@@ -487,7 +488,7 @@ func TestGenericSemiringTerminal(t *testing.T) {
 	}
 	at := testMatrixTranspose(t)
 	q := grb.NewFull[int64](4, 99)
-	out := grb.MxV(at, q, clamp, nil, 1)
+	out := grb.MxV(par.Default(), at, q, clamp, nil, 1)
 	if x, ok := out.Extract(0); !ok || x != 99 {
 		t.Fatalf("terminal reduction = %d,%v", x, ok)
 	}
@@ -592,7 +593,7 @@ func TestDenseMxMMatchesVectorProduct(t *testing.T) {
 	f.Set(0, 0, 1)
 	f.Set(1, 2, 3)
 	noMask := func(int) *grb.Mask { return nil }
-	out := grb.DenseMxM(f, a, noMask, 2)
+	out := grb.DenseMxM(par.Default(), f, a, noMask, 2)
 	// Row 0: vertex 0 -> 1 with value 1.
 	if v, ok := out.Get(0, 1); !ok || v != 1 {
 		t.Fatalf("out[0][1] = %v,%v", v, ok)
@@ -609,7 +610,7 @@ func TestDenseMxMMatchesVectorProduct(t *testing.T) {
 	// Masked: forbid column 3 in row 1.
 	allow := grb.NewBitset(4)
 	allow.Set(3)
-	masked := grb.DenseMxM(f, a, func(r int) *grb.Mask {
+	masked := grb.DenseMxM(par.Default(), f, a, func(r int) *grb.Mask {
 		if r == 1 {
 			return grb.NewMask(allow, true) // complement: everything but 3
 		}
@@ -634,7 +635,7 @@ func TestDenseMxMAccumulatesSharedTargets(t *testing.T) {
 	f := grb.NewDenseMatrix(1, 3)
 	f.Set(0, 0, 2)
 	f.Set(0, 1, 5)
-	out := grb.DenseMxM(f, a, func(int) *grb.Mask { return nil }, 2)
+	out := grb.DenseMxM(par.Default(), f, a, func(int) *grb.Mask { return nil }, 2)
 	if v, ok := out.Get(0, 2); !ok || v != 7 {
 		t.Fatalf("accumulated = %v,%v want 7", v, ok)
 	}

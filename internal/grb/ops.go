@@ -1,8 +1,6 @@
 package grb
 
 import (
-	"sync"
-
 	"gapbench/internal/par"
 )
 
@@ -24,7 +22,7 @@ type entry[T Number] struct {
 // overhead on tiny frontiers. Built-in semirings take specialized loops
 // (SuiteSparse's pre-generated kernels); anything else runs the generic
 // operator-pointer path.
-func VxM[T Number](q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, workers int) *Vector[T] {
+func VxM[T Number](exec *par.Machine, q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, workers int) *Vector[T] {
 	checkVector("VxM input q", q)
 	checkMatrix("VxM input A", a)
 	checkMask("VxM mask", mask, a.ncols)
@@ -34,56 +32,52 @@ func VxM[T Number](q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, workers i
 	if workers < 1 {
 		workers = 1
 	}
+	// Per-slot scatter buffers merged serially below: one machine slot per
+	// worker over a static partition of the stored q entries (the same
+	// bulk-synchronous structure as the old hand-rolled fork-join, minus the
+	// per-operation goroutine spawn GraphBLAS pays for on tiny frontiers).
 	partial := make([][]entry[T], workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		lo := w * nq / workers
-		hi := (w + 1) * nq / workers
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var local []entry[T]
-			for t := lo; t < hi; t++ {
-				k := qs.ind[t]
-				qv := qs.val[t]
-				cols, ws := a.Row(k)
-				switch s.Kind {
-				case KindAnySecondi:
-					vk := T(k)
-					for _, j := range cols {
-						if mask.Allow(j) {
-							local = append(local, entry[T]{j, vk})
-						}
-					}
-				case KindPlusFirst, KindMinFirst:
-					for _, j := range cols {
-						if mask.Allow(j) {
-							local = append(local, entry[T]{j, qv})
-						}
-					}
-				case KindMinPlus:
-					for i, j := range cols {
-						if mask.Allow(j) {
-							local = append(local, entry[T]{j, qv + T(ws[i])})
-						}
-					}
-				default:
-					for i, j := range cols {
-						if !mask.Allow(j) {
-							continue
-						}
-						wt := int32(0)
-						if ws != nil {
-							wt = ws[i]
-						}
-						local = append(local, entry[T]{j, s.Mult(qv, wt, k)})
+	exec.ForWorker(nq, workers, func(w, lo, hi int) {
+		var local []entry[T]
+		for t := lo; t < hi; t++ {
+			k := qs.ind[t]
+			qv := qs.val[t]
+			cols, ws := a.Row(k)
+			switch s.Kind {
+			case KindAnySecondi:
+				vk := T(k)
+				for _, j := range cols {
+					if mask.Allow(j) {
+						local = append(local, entry[T]{j, vk})
 					}
 				}
+			case KindPlusFirst, KindMinFirst:
+				for _, j := range cols {
+					if mask.Allow(j) {
+						local = append(local, entry[T]{j, qv})
+					}
+				}
+			case KindMinPlus:
+				for i, j := range cols {
+					if mask.Allow(j) {
+						local = append(local, entry[T]{j, qv + T(ws[i])})
+					}
+				}
+			default:
+				for i, j := range cols {
+					if !mask.Allow(j) {
+						continue
+					}
+					wt := int32(0)
+					if ws != nil {
+						wt = ws[i]
+					}
+					local = append(local, entry[T]{j, s.Mult(qv, wt, k)})
+				}
 			}
-			partial[w] = local
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		partial[w] = local
+	})
 
 	out := &Vector[T]{n: q.n, format: Bitmap, dense: make([]T, q.n), present: NewBitset(q.n)}
 	merge := func(combine func(old, new T) T) {
@@ -125,7 +119,7 @@ func VxM[T Number](q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, workers i
 // q is converted to bitmap format first (timed). ANY monoids exit a row on
 // the first contribution, which is what makes the pull direction profitable
 // for BFS. The result is returned in bitmap format.
-func MxV[T Number](a *Matrix, q *Vector[T], s Semiring[T], mask *Mask, workers int) *Vector[T] {
+func MxV[T Number](exec *par.Machine, a *Matrix, q *Vector[T], s Semiring[T], mask *Mask, workers int) *Vector[T] {
 	checkVector("MxV input q", q)
 	checkMatrix("MxV input A", a)
 	checkMask("MxV mask", mask, a.nrows)
@@ -135,7 +129,7 @@ func MxV[T Number](a *Matrix, q *Vector[T], s Semiring[T], mask *Mask, workers i
 	switch s.Kind {
 	case KindAnySecondi:
 		// Specialized kernel: take the first frontier in-neighbor and stop.
-		par.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
+		exec.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if !mask.Allow(Index(i)) {
 					continue
@@ -153,7 +147,7 @@ func MxV[T Number](a *Matrix, q *Vector[T], s Semiring[T], mask *Mask, workers i
 		return out
 	case KindPlusFirst:
 		// Specialized kernel: sum the present q values along the row.
-		par.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
+		exec.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if !mask.Allow(Index(i)) {
 					continue
@@ -176,7 +170,7 @@ func MxV[T Number](a *Matrix, q *Vector[T], s Semiring[T], mask *Mask, workers i
 		return out
 	}
 	// Generic operator-pointer path.
-	par.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
+	exec.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if !mask.Allow(Index(i)) {
 				continue
@@ -218,7 +212,7 @@ func MxV[T Number](a *Matrix, q *Vector[T], s Semiring[T], mask *Mask, workers i
 // MxVFull computes w = A * q where q is a full vector and every output is
 // produced (no mask, no sparsity): the SpMV at the heart of PageRank and
 // FastSV. Built-in semirings run specialized loops.
-func MxVFull[T Number](a *Matrix, q *Vector[T], s Semiring[T], workers int) *Vector[T] {
+func MxVFull[T Number](exec *par.Machine, a *Matrix, q *Vector[T], s Semiring[T], workers int) *Vector[T] {
 	checkVector("MxVFull input q", q)
 	checkMatrix("MxVFull input A", a)
 	dense := q.Dense()
@@ -226,7 +220,7 @@ func MxVFull[T Number](a *Matrix, q *Vector[T], s Semiring[T], workers int) *Vec
 	res := out.Dense()
 	switch s.Kind {
 	case KindPlusFirst:
-		par.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
+		exec.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				cols, _ := a.Row(Index(i))
 				var acc T
@@ -238,7 +232,7 @@ func MxVFull[T Number](a *Matrix, q *Vector[T], s Semiring[T], workers int) *Vec
 		})
 		return out
 	case KindMinFirst:
-		par.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
+		exec.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				cols, _ := a.Row(Index(i))
 				acc := s.Monoid.Identity
@@ -252,7 +246,7 @@ func MxVFull[T Number](a *Matrix, q *Vector[T], s Semiring[T], workers int) *Vec
 		})
 		return out
 	}
-	par.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
+	exec.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cols, ws := a.Row(Index(i))
 			acc := s.Monoid.Identity
@@ -291,12 +285,12 @@ func ScatterMin(dst *Vector[int64], idx, val []int64) {
 // materialized, then reduced and discarded — "It would be much faster to
 // skip construction of the matrix and simply sum up its entries as they are
 // computed", an unfused cost this reproduction keeps.
-func MxMPlusPairReduce(l, u *Matrix, workers int) int64 {
+func MxMPlusPairReduce(exec *par.Machine, l, u *Matrix, workers int) int64 {
 	checkMatrix("MxMPlusPairReduce input L", l)
 	checkMatrix("MxMPlusPairReduce input U", u)
 	// Materialize C's values row by row (structure equals L's).
 	values := make([]int64, l.NVals())
-	par.ForDynamic(int(l.nrows), 64, workers, func(lo, hi int) {
+	exec.ForDynamic(int(l.nrows), 64, workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			li, _ := l.Row(Index(i))
 			base := l.rowPtr[i]

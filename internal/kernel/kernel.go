@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"gapbench/internal/graph"
+	"gapbench/internal/par"
 )
 
 // Dist is an SSSP path distance (sum of up-to-255 weights).
@@ -76,6 +77,13 @@ type Options struct {
 	// allows tuning this per graph even in Baseline mode.
 	Delta Dist
 
+	// Machine is the persistent worker pool the kernel's parallel regions
+	// run on. The harness constructs one machine per mode so each cell's
+	// synchronization structure (regions, barriers, dynamic chunks) is
+	// observable via par.Machine.Stats. Nil means the process-default
+	// machine — kernels must reach it through Exec(), never directly.
+	Machine *par.Machine
+
 	// UndirectedView is the symmetrized form of the input, prebuilt by the
 	// harness. The GAP rules let implementations store multiple forms of the
 	// graph at load time, so consulting this is legal in both modes. Nil
@@ -96,6 +104,19 @@ func (o Options) Undirected(g *graph.Graph) *graph.Graph {
 		return o.UndirectedView
 	}
 	return g.Undirected()
+}
+
+// Exec returns the machine the kernel's parallel regions must run on,
+// defaulting to the process-wide machine when the harness did not attach one.
+// Framework code should call methods on the returned machine (opt.Exec().For,
+// …) rather than the package-level par shims, so per-cell launch and barrier
+// counts reflect the framework's real structure instead of vanishing into the
+// shared default pool.
+func (o Options) Exec() *par.Machine {
+	if o.Machine != nil {
+		return o.Machine
+	}
+	return par.Default()
 }
 
 // EffectiveWorkers resolves Options.Workers against the process default.

@@ -5,6 +5,7 @@ import (
 
 	"gapbench/internal/grb"
 	"gapbench/internal/kernel"
+	"gapbench/internal/par"
 )
 
 // bfsParents is the LAGraph direction-optimizing BFS of §III-A: the push
@@ -12,7 +13,7 @@ import (
 // q<!pi> = A'*q, followed by the masked assignment pi<q> = q. The vector q
 // is converted to a sparse list for pushing and a bitmap for pulling, with
 // the conversions inside the timed region.
-func bfsParents(m *matrices, src grb.Index, workers int) *grb.Vector[int64] {
+func bfsParents(exec *par.Machine, m *matrices, src grb.Index, workers int) *grb.Vector[int64] {
 	n := m.a.NRows()
 	s := grb.AnySecondi()
 	// pi starts in bitmap format: one entry (the source, its own parent).
@@ -26,9 +27,9 @@ func bfsParents(m *matrices, src grb.Index, workers int) *grb.Vector[int64] {
 		// Direction heuristic: pull when the frontier covers a sizeable
 		// fraction of the vertices, push otherwise.
 		if q.NVals() > n/32 {
-			q = grb.MxV(m.at, q, s, notVisited, workers)
+			q = grb.MxV(exec, m.at, q, s, notVisited, workers)
 		} else {
-			q = grb.VxM(q, m.a, s, notVisited, workers)
+			q = grb.VxM(exec, q, m.a, s, notVisited, workers)
 		}
 		grb.AssignMasked(pi, q, grb.NewMask(q.Structure(), false))
 	}
@@ -39,7 +40,7 @@ func bfsParents(m *matrices, src grb.Index, workers int) *grb.Vector[int64] {
 // extracted from the full distance vector with a select (an O(n) scan per
 // bucket — the structural cost that makes GraphBLAS SSSP collapse on Road,
 // §V-B), then relaxed to a fixed point with masked min-plus products.
-func deltaStepping(aw *grb.Matrix, src grb.Index, delta kernel.Dist, workers int) *grb.Vector[int32] {
+func deltaStepping(exec *par.Machine, aw *grb.Matrix, src grb.Index, delta kernel.Dist, workers int) *grb.Vector[int32] {
 	n := aw.NRows()
 	s := grb.MinPlus()
 	t := grb.NewFull[int32](n, kernel.Inf)
@@ -66,7 +67,7 @@ func deltaStepping(aw *grb.Matrix, src grb.Index, delta kernel.Dist, workers int
 		}
 		// Relax this bucket to a fixed point.
 		for tm.NVals() > 0 {
-			relaxed := grb.VxM(tm, aw, s, nil, workers)
+			relaxed := grb.VxM(exec, tm, aw, s, nil, workers)
 			improvedInBucket := grb.NewSparse[int32](n)
 			relaxed.Iterate(func(j grb.Index, x int32) {
 				if x < dense[j] {
@@ -87,7 +88,7 @@ func deltaStepping(aw *grb.Matrix, src grb.Index, delta kernel.Dist, workers int
 // plus_first SpMV touches only the adjacency pattern; contributions are
 // prescaled by out-degree, so this is exactly the paper's "plus-second"
 // formulation under this package's operand orientation.
-func pagerank(m *matrices, workers int) *grb.Vector[float64] {
+func pagerank(exec *par.Machine, m *matrices, workers int) *grb.Vector[float64] {
 	n := m.at.NRows()
 	if n == 0 {
 		return grb.NewFull[float64](0, 0)
@@ -110,7 +111,7 @@ func pagerank(m *matrices, workers int) *grb.Vector[float64] {
 			}
 		}
 		danglingShare := kernel.PRDamping * dangling / float64(n)
-		next := grb.MxVFull(m.at, w, s, workers)
+		next := grb.MxVFull(exec, m.at, w, s, workers)
 		nd := next.Dense()
 		var diff float64
 		for i := grb.Index(0); i < n; i++ {
@@ -130,7 +131,7 @@ func pagerank(m *matrices, workers int) *grb.Vector[float64] {
 // with a min_second product, hooks grandparents with the scatter-min kernel
 // LAGraph had to hand-roll (§V-C), and shortcuts by pointer jumping, until
 // the label vector reaches a fixed point.
-func fastSV(und *grb.Matrix, workers int) *grb.Vector[int64] {
+func fastSV(exec *par.Machine, und *grb.Matrix, workers int) *grb.Vector[int64] {
 	n := und.NRows()
 	s := grb.MinFirst()
 	f := grb.NewFull[int64](n, 0)
@@ -145,7 +146,7 @@ func fastSV(und *grb.Matrix, workers int) *grb.Vector[int64] {
 
 	for {
 		// mngp[v] = min_{u in N(v)} f[u] (isolated vertices keep MaxInt64).
-		mngp := grb.MxVFull(und, f, s, workers)
+		mngp := grb.MxVFull(exec, und, f, s, workers)
 		md := mngp.Dense()
 
 		// Stochastic hooking: f[gp[v]] = min(f[gp[v]], mngp[v]).
@@ -195,7 +196,7 @@ func fastSV(und *grb.Matrix, workers int) *grb.Vector[int64] {
 // The forward sweep is a masked dense-times-sparse product per level that
 // accumulates per-root path counts; the backward sweep runs the same
 // product over A' against the recorded per-root level structures.
-func betweenness(m *matrices, sources []grb.Index, workers int) []float64 {
+func betweenness(exec *par.Machine, m *matrices, sources []grb.Index, workers int) []float64 {
 	n := m.a.NRows()
 	k := len(sources)
 	scores := make([]float64, n)
@@ -222,7 +223,7 @@ func betweenness(m *matrices, sources []grb.Index, workers int) []float64 {
 	// Forward: one batched product per global level until every root's
 	// frontier is empty.
 	for frontier.NVals() > 0 {
-		next := grb.DenseMxM(frontier, m.a, func(r int) *grb.Mask {
+		next := grb.DenseMxM(exec, frontier, m.a, func(r int) *grb.Mask {
 			return grb.NewMask(visited[r], true)
 		}, workers)
 		for r := 0; r < k; r++ {
@@ -275,7 +276,7 @@ func betweenness(m *matrices, sources []grb.Index, workers int) []float64 {
 				}
 			}
 		}
-		t := grb.DenseMxM(w, m.at, func(r int) *grb.Mask {
+		t := grb.DenseMxM(exec, w, m.at, func(r int) *grb.Mask {
 			if d-1 < len(levels[r]) {
 				return grb.NewMask(levels[r][d-1], false)
 			}
@@ -317,10 +318,10 @@ func betweenness(m *matrices, sources []grb.Index, workers int) []float64 {
 // triangleCount is the LAGraph TC of §III-A: L = tril(A,-1), U = triu(A,1),
 // C<L> = L*U' over plus_pair, then reduce C to a scalar. The value matrix is
 // materialized and then discarded, the unfused cost §V-F quantifies at ~2x.
-func triangleCount(und *grb.Matrix, workers int) int64 {
+func triangleCount(exec *par.Machine, und *grb.Matrix, workers int) int64 {
 	l := und.Tril(-1)
 	u := und.Triu(1)
-	return grb.MxMPlusPairReduce(l, u, workers)
+	return grb.MxMPlusPairReduce(exec, l, u, workers)
 }
 
 // LocalClustering is an extension algorithm in the LAGraph spirit ("a
@@ -330,7 +331,7 @@ func triangleCount(und *grb.Matrix, workers int) int64 {
 // triangles through v are recovered from the per-edge intersection counts of
 // C<L> = L*U': each triangle {a<b<c} contributes its count on edge (c,b) of
 // L, and every triangle touches its three corners once.
-func LocalClustering(und *grb.Matrix, workers int) []float64 {
+func LocalClustering(exec *par.Machine, und *grb.Matrix, workers int) []float64 {
 	n := und.NRows()
 	l := und.Tril(-1)
 	u := und.Triu(1)

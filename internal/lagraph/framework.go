@@ -107,7 +107,7 @@ func (f *Framework) matrices(g *graph.Graph, undirected *graph.Graph) *matrices 
 // BFS implements kernel.Framework.
 func (f *Framework) BFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID {
 	m := f.matrices(g, opt.UndirectedView)
-	pi := bfsParents(m, grb.Index(src), opt.EffectiveWorkers())
+	pi := bfsParents(opt.Exec(), m, grb.Index(src), opt.EffectiveWorkers())
 	// Export the 64-bit GraphBLAS vector into the shared 32-bit convention.
 	out := make([]graph.NodeID, g.NumNodes())
 	for i := range out {
@@ -124,21 +124,21 @@ func (f *Framework) SSSP(g *graph.Graph, src graph.NodeID, opt kernel.Options) [
 	if delta <= 0 {
 		delta = 16
 	}
-	t := deltaStepping(m.aw, grb.Index(src), delta, opt.EffectiveWorkers())
+	t := deltaStepping(opt.Exec(), m.aw, grb.Index(src), delta, opt.EffectiveWorkers())
 	return append([]kernel.Dist(nil), t.Dense()...)
 }
 
 // PR implements kernel.Framework.
 func (f *Framework) PR(g *graph.Graph, opt kernel.Options) []float64 {
 	m := f.matrices(g, opt.UndirectedView)
-	r := pagerank(m, opt.EffectiveWorkers())
+	r := pagerank(opt.Exec(), m, opt.EffectiveWorkers())
 	return append([]float64(nil), r.Dense()...)
 }
 
 // CC implements kernel.Framework.
 func (f *Framework) CC(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 	m := f.matrices(g, opt.UndirectedView)
-	fvec := fastSV(m.und, opt.EffectiveWorkers())
+	fvec := fastSV(opt.Exec(), m.und, opt.EffectiveWorkers())
 	out := make([]graph.NodeID, g.NumNodes())
 	for i, v := range fvec.Dense() {
 		out[i] = graph.NodeID(v)
@@ -153,7 +153,7 @@ func (f *Framework) BC(g *graph.Graph, sources []graph.NodeID, opt kernel.Option
 	for i, s := range sources {
 		srcs[i] = grb.Index(s)
 	}
-	return betweenness(m, srcs, opt.EffectiveWorkers())
+	return betweenness(opt.Exec(), m, srcs, opt.EffectiveWorkers())
 }
 
 // TC implements kernel.Framework.
@@ -169,5 +169,5 @@ func (f *Framework) TC(g *graph.Graph, opt kernel.Options) int64 {
 		rg, _ := graph.DegreeRelabel(ug)
 		und = grb.FromGraph(rg, false, false)
 	}
-	return triangleCount(und, opt.EffectiveWorkers())
+	return triangleCount(opt.Exec(), und, opt.EffectiveWorkers())
 }

@@ -8,6 +8,7 @@ import (
 	"gapbench/internal/grb"
 	"gapbench/internal/kernel"
 	"gapbench/internal/ldbc"
+	"gapbench/internal/par"
 	"gapbench/internal/verify"
 )
 
@@ -78,7 +79,7 @@ func TestBFSParentsVector(t *testing.T) {
 	for g.OutDegree(graph.NodeID(src)) == 0 {
 		src++
 	}
-	pi := bfsParents(m, src, 2)
+	pi := bfsParents(par.Default(), m, src, 2)
 	if p, ok := pi.Extract(src); !ok || p != int64(src) {
 		t.Fatalf("source parent = %v,%v", p, ok)
 	}
@@ -96,7 +97,7 @@ func TestBFSParentsVector(t *testing.T) {
 func TestDeltaSteppingAgainstDijkstra(t *testing.T) {
 	_, g, m := prepared(t, "Road", 8)
 	for _, delta := range []kernel.Dist{4, 64, 1024} {
-		dist := deltaStepping(m.aw, 0, delta, 2)
+		dist := deltaStepping(par.Default(), m.aw, 0, delta, 2)
 		if err := verify.CheckSSSP(g, 0, dist.Dense()); err != nil {
 			t.Fatalf("delta=%d: %v", delta, err)
 		}
@@ -105,7 +106,7 @@ func TestDeltaSteppingAgainstDijkstra(t *testing.T) {
 
 func TestFastSVFixedPoint(t *testing.T) {
 	_, g, m := prepared(t, "Kron", 8)
-	f := fastSV(m.und, 2)
+	f := fastSV(par.Default(), m.und, 2)
 	labels := f.Dense()
 	// Fixed point: every label is a root (f[f[v]] == f[v]) and labels are
 	// minima over components (checked via the oracle).
@@ -133,7 +134,7 @@ func TestFastSVFixedPoint(t *testing.T) {
 func TestTriangleCountMatchesOracle(t *testing.T) {
 	_, g, m := prepared(t, "Urand", 7)
 	want := verify.Triangles(g)
-	if got := triangleCount(m.und, 2); got != want {
+	if got := triangleCount(par.Default(), m.und, 2); got != want {
 		t.Fatalf("triangles = %d, want %d", got, want)
 	}
 }
@@ -148,7 +149,7 @@ func TestPageRankSumsToOne(t *testing.T) {
 
 func TestLocalClusteringMatchesLDBC(t *testing.T) {
 	_, g, m := prepared(t, "Kron", 7)
-	got := LocalClustering(m.und, 2)
+	got := LocalClustering(par.Default(), m.und, 2)
 	want := ldbc.LCC(g, 2)
 	for v := range got {
 		if diff := got[v] - want[v]; diff > 1e-9 || diff < -1e-9 {

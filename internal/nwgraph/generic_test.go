@@ -8,6 +8,7 @@ import (
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
 	"gapbench/internal/nwgraph"
+	"gapbench/internal/par"
 	"gapbench/internal/testutil"
 	"gapbench/internal/verify"
 )
@@ -94,24 +95,24 @@ func TestGenericKernelsOnMapAdjacency(t *testing.T) {
 		src++
 	}
 
-	if err := verify.CheckBFS(g, src, nwgraph.BFS(m, src, 2)); err != nil {
+	if err := verify.CheckBFS(g, src, nwgraph.BFS(par.Default(), m, src, 2)); err != nil {
 		t.Errorf("BFS: %v", err)
 	}
-	if err := verify.CheckSSSP(g, src, nwgraph.SSSP(m, src, 16, 2)); err != nil {
+	if err := verify.CheckSSSP(g, src, nwgraph.SSSP(par.Default(), m, src, 16, 2)); err != nil {
 		t.Errorf("SSSP: %v", err)
 	}
-	if err := verify.CheckPR(g, nwgraph.PR(m, 2)); err != nil {
+	if err := verify.CheckPR(g, nwgraph.PR(par.Default(), m, 2)); err != nil {
 		t.Errorf("PR: %v", err)
 	}
-	if err := verify.CheckCC(g, nwgraph.CC(m, g.Directed(), 2)); err != nil {
+	if err := verify.CheckCC(g, nwgraph.CC(par.Default(), m, g.Directed(), 2)); err != nil {
 		t.Errorf("CC: %v", err)
 	}
 	roots := []graph.NodeID{src}
-	if err := verify.CheckBC(g, roots, nwgraph.BC(m, roots, 2)); err != nil {
+	if err := verify.CheckBC(g, roots, nwgraph.BC(par.Default(), m, roots, 2)); err != nil {
 		t.Errorf("BC: %v", err)
 	}
 	// TC requires the undirected view; Kron is already undirected.
-	if err := verify.CheckTC(g, nwgraph.TC(m, 2)); err != nil {
+	if err := verify.CheckTC(g, nwgraph.TC(par.Default(), m, 2)); err != nil {
 		t.Errorf("TC: %v", err)
 	}
 }
@@ -126,11 +127,11 @@ func TestCSRAndMapAgree(t *testing.T) {
 	}
 	csr := nwgraph.NewCSR(g)
 	m := newMapAdjacency(g)
-	if got, want := nwgraph.TC(m, 2), nwgraph.TC(csr, 2); got != want {
+	if got, want := nwgraph.TC(par.Default(), m, 2), nwgraph.TC(par.Default(), csr, 2); got != want {
 		t.Fatalf("TC disagrees: map %d vs csr %d", got, want)
 	}
-	dm := nwgraph.SSSP(m, 0, 16, 2)
-	dc := nwgraph.SSSP(csr, 0, 16, 2)
+	dm := nwgraph.SSSP(par.Default(), m, 0, 16, 2)
+	dc := nwgraph.SSSP(par.Default(), csr, 0, 16, 2)
 	for v := range dm {
 		if dm[v] != dc[v] {
 			t.Fatalf("SSSP disagrees at %d: %d vs %d", v, dm[v], dc[v])

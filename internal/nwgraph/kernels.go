@@ -14,7 +14,7 @@ import (
 // ... no fine tuning of the switching criteria"). Frontiers are freshly
 // allocated vectors each round — the STL-vector reliance whose overhead the
 // paper observes "was particularly noticeable for Road".
-func BFS[G BidirectionalAdjacency](g G, src Vertex, workers int) []Vertex {
+func BFS[G BidirectionalAdjacency](exec *par.Machine, g G, src Vertex, workers int) []Vertex {
 	n := g.NumVertices()
 	parent := make([]Vertex, n)
 	for i := range parent {
@@ -34,7 +34,7 @@ func BFS[G BidirectionalAdjacency](g G, src Vertex, workers int) []Vertex {
 				inFrontier[u] = true
 			}
 			var collect nextCollect
-			par.ForBlocked(n, workers, func(lo, hi int) {
+			exec.ForBlocked(n, workers, func(lo, hi int) {
 				var local []Vertex
 				for vi := lo; vi < hi; vi++ {
 					v := Vertex(vi)
@@ -57,7 +57,7 @@ func BFS[G BidirectionalAdjacency](g G, src Vertex, workers int) []Vertex {
 		} else {
 			cur := frontier
 			var collect nextCollect
-			par.ForDynamic(len(cur), 64, workers, func(lo, hi int) {
+			exec.ForDynamic(len(cur), 64, workers, func(lo, hi int) {
 				var local []Vertex
 				for i := lo; i < hi; i++ {
 					u := cur[i]
@@ -79,7 +79,7 @@ func BFS[G BidirectionalAdjacency](g G, src Vertex, workers int) []Vertex {
 
 // SSSP is generic delta-stepping (no bucket fusion) with per-worker bins,
 // managed the way NWGraph manages parallelism through TBB primitives.
-func SSSP[G WeightedAdjacency](g G, src Vertex, delta kernel.Dist, workers int) []kernel.Dist {
+func SSSP[G WeightedAdjacency](exec *par.Machine, g G, src Vertex, delta kernel.Dist, workers int) []kernel.Dist {
 	n := g.NumVertices()
 	dist := make([]kernel.Dist, n)
 	for i := range dist {
@@ -105,7 +105,7 @@ func SSSP[G WeightedAdjacency](g G, src Vertex, delta kernel.Dist, workers int) 
 	for {
 		lo := kernel.Dist(bucket) * delta
 		hi := lo + delta
-		par.ForWorker(len(frontier), workers, func(w, i0, i1 int) {
+		exec.ForWorker(len(frontier), workers, func(w, i0, i1 int) {
 			for i := i0; i < i1; i++ {
 				u := frontier[i]
 				du := atomic.LoadInt32(&dist[u])
@@ -154,7 +154,7 @@ func SSSP[G WeightedAdjacency](g G, src Vertex, delta kernel.Dist, workers int) 
 // Gauss-Seidel algorithm and saw performance in line with ... the other
 // frameworks using that algorithm"): in-place chaotic relaxation, expressed
 // with a parallel execution policy over the vertex range.
-func PR[G BidirectionalAdjacency](g G, workers int) []float64 {
+func PR[G BidirectionalAdjacency](exec *par.Machine, g G, workers int) []float64 {
 	n := g.NumVertices()
 	if n == 0 {
 		return nil
@@ -172,7 +172,7 @@ func PR[G BidirectionalAdjacency](g G, workers int) []float64 {
 	}
 
 	for it := 0; it < kernel.PRMaxIters; it++ {
-		dangling := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
 				if invDeg[u] == 0 {
@@ -186,7 +186,7 @@ func PR[G BidirectionalAdjacency](g G, workers int) []float64 {
 		// offers them, like a template instantiation would; otherwise gather
 		// through the generic internal iterator.
 		fast, hasFast := any(g).(interface{ InNeighborSlice(Vertex) []Vertex })
-		delta := par.ReduceFloat64(n, workers, func(lo, hi int) float64 {
+		delta := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for vi := lo; vi < hi; vi++ {
 				v := Vertex(vi)
@@ -220,7 +220,7 @@ func PR[G BidirectionalAdjacency](g G, workers int) []float64 {
 // CC is Afforest over the concepts (Table III: NWGraph uses Afforest), with
 // parallel execution policies standing in for the C++17 parallel algorithms
 // NWGraph leans on.
-func CC[G BidirectionalAdjacency](g G, directed bool, workers int) []Vertex {
+func CC[G BidirectionalAdjacency](exec *par.Machine, g G, directed bool, workers int) []Vertex {
 	n := g.NumVertices()
 	comp := make([]Vertex, n)
 	for i := range comp {
@@ -231,7 +231,7 @@ func CC[G BidirectionalAdjacency](g G, directed bool, workers int) []Vertex {
 	}
 	const rounds = 2
 	for r := 0; r < rounds; r++ {
-		par.ForDynamic(n, 256, workers, func(lo, hi int) {
+		exec.ForDynamic(n, 256, workers, func(lo, hi int) {
 			for u := lo; u < hi; u++ {
 				k := 0
 				g.Neighbors(Vertex(u), func(v Vertex) bool {
@@ -245,9 +245,9 @@ func CC[G BidirectionalAdjacency](g G, directed bool, workers int) []Vertex {
 			}
 		})
 	}
-	compressCAS(comp, workers)
+	compressCAS(exec, comp, workers)
 	giant := frequentLabel(comp)
-	par.ForDynamic(n, 256, workers, func(lo, hi int) {
+	exec.ForDynamic(n, 256, workers, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			if atomic.LoadInt32(&comp[u]) == giant {
 				continue
@@ -268,14 +268,14 @@ func CC[G BidirectionalAdjacency](g G, directed bool, workers int) []Vertex {
 			}
 		}
 	})
-	compressCAS(comp, workers)
+	compressCAS(exec, comp, workers)
 	return comp
 }
 
 // BC is Brandes over the concepts without a direction-optimized forward
 // search (§V-E: "The BC kernel did not use direction optimized breadth-first
 // search"), followed by level-ordered sigma and dependency passes.
-func BC[G BidirectionalAdjacency](g G, sources []Vertex, workers int) []float64 {
+func BC[G BidirectionalAdjacency](exec *par.Machine, g G, sources []Vertex, workers int) []float64 {
 	n := g.NumVertices()
 	scores := make([]float64, n)
 	if n == 0 {
@@ -286,7 +286,7 @@ func BC[G BidirectionalAdjacency](g G, sources []Vertex, workers int) []float64 
 	delta := make([]float64, n)
 
 	for _, src := range sources {
-		par.ForBlocked(n, workers, func(lo, hi int) {
+		exec.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from the forward phase's CAS on depth
 				depth[i] = -1
@@ -302,7 +302,7 @@ func BC[G BidirectionalAdjacency](g G, sources []Vertex, workers int) []float64 
 		for len(current) > 0 {
 			d := int32(len(levels))
 			var collect nextCollect
-			par.ForDynamic(len(current), 64, workers, func(lo, hi int) {
+			exec.ForDynamic(len(current), 64, workers, func(lo, hi int) {
 				var local []Vertex
 				for i := lo; i < hi; i++ {
 					u := current[i]
@@ -326,7 +326,7 @@ func BC[G BidirectionalAdjacency](g G, sources []Vertex, workers int) []float64 
 
 		for l := 1; l < len(levels); l++ {
 			level := levels[l]
-			par.ForDynamic(len(level), 64, workers, func(lo, hi int) {
+			exec.ForDynamic(len(level), 64, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					v := level[i]
 					var s float64
@@ -342,7 +342,7 @@ func BC[G BidirectionalAdjacency](g G, sources []Vertex, workers int) []float64 
 		}
 		for l := len(levels) - 2; l >= 0; l-- {
 			level := levels[l]
-			par.ForDynamic(len(level), 64, workers, func(lo, hi int) {
+			exec.ForDynamic(len(level), 64, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					u := level[i]
 					var d float64
@@ -378,7 +378,7 @@ func BC[G BidirectionalAdjacency](g G, sources []Vertex, workers int) []float64 
 // TC counts triangles with a cyclic distribution of rows across workers —
 // §V-F: "NWGraph's cyclic distribution of rows across threads led to near
 // optimal load balancing" on skew-degree graphs.
-func TC[G AdjacencyList](g G, workers int) int64 {
+func TC[G AdjacencyList](exec *par.Machine, g G, workers int) int64 {
 	n := g.NumVertices()
 	if workers < 1 {
 		workers = 1
@@ -386,7 +386,7 @@ func TC[G AdjacencyList](g G, workers int) int64 {
 	partial := make([]int64, workers)
 	bufsA := make([][]Vertex, workers)
 	bufsB := make([][]Vertex, workers)
-	par.ForCyclic(n, workers, func(w, a int) {
+	exec.ForCyclic(n, workers, func(w, a int) {
 		var na []Vertex
 		na, bufsA[w] = sortedNeighbors(g, Vertex(a), bufsA[w])
 		var count int64
@@ -463,8 +463,8 @@ func unionCAS(u, v Vertex, comp []Vertex) {
 	}
 }
 
-func compressCAS(comp []Vertex, workers int) {
-	par.ForBlocked(len(comp), workers, func(lo, hi int) {
+func compressCAS(exec *par.Machine, comp []Vertex, workers int) {
+	exec.ForBlocked(len(comp), workers, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			c := atomic.LoadInt32(&comp[u])
 			for {

@@ -1,18 +1,25 @@
-// Package par provides the fork-join parallelism substrate shared by every
-// framework in this repository.
+// Package par provides the parallelism substrate shared by every framework in
+// this repository.
 //
 // The paper runs all frameworks on the same 32-core (64-thread) machine; this
-// package is the Go analogue of that machine. Frameworks request a worker
-// count (the Baseline rule set pins it to the logical CPU count, the Optimized
-// rule set may raise it to simulate hyperthreading) and use the loop helpers
-// here for both statically partitioned ("NUMA-blocked") and dynamically
-// load-balanced ("work-stealing") parallel iteration.
+// package is the Go analogue of that machine — literally: all schedules
+// execute on a Machine, a persistent pool of parked workers (machine.go).
+// Frameworks request a worker count (the Baseline rule set pins it to the
+// logical CPU count, the Optimized rule set may raise it to simulate
+// hyperthreading) and use the loop helpers for both statically partitioned
+// ("NUMA-blocked") and dynamically load-balanced ("work-stealing") parallel
+// iteration.
+//
+// The package-level functions below are thin shims over the lazily built
+// process-default machine, so historical call sites keep working unchanged.
+// Code that wants observable synchronization structure (per-cell region and
+// barrier counts) should hold its own *Machine — kernel.Options carries one —
+// and call the identically named methods on it.
 package par
 
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultWorkers reports the default degree of parallelism: the number of
@@ -22,271 +29,77 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// clampWorkers normalizes a requested worker count: values < 1 mean "use the
-// default", and there is never a reason to use more workers than iterations.
-func clampWorkers(workers, n int) int {
-	if workers < 1 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
+var (
+	defaultOnce    sync.Once
+	defaultMachine *Machine
+)
+
+// Default returns the lazily built process-default machine, sized to
+// DefaultWorkers(). It is never closed; its pool goroutines live for the
+// process lifetime (testutil.CheckGoroutines warms it before snapshotting the
+// goroutine count for exactly that reason).
+func Default() *Machine {
+	defaultOnce.Do(func() {
+		defaultMachine = NewMachine(DefaultWorkers())
+	})
+	return defaultMachine
 }
 
 // For runs fn(i) for every i in [0, n) using statically partitioned chunks,
-// one contiguous block per worker. Static partitioning is the analogue of the
-// NUMA-blocked allocation the paper describes for topology-driven kernels:
-// each worker touches one contiguous region of the iteration space.
+// one contiguous block per worker, on the process-default machine.
 func For(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	workers = clampWorkers(workers, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	Default().For(n, workers, fn)
 }
 
 // ForBlocked runs fn(lo, hi) over statically partitioned contiguous ranges,
-// one per worker. It is For with the per-index closure cost amortized away;
-// inner loops that need peak throughput use this form.
+// one per worker, on the process-default machine. It is For with the
+// per-index closure cost amortized away; inner loops that need peak
+// throughput use this form.
 func ForBlocked(n, workers int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers = clampWorkers(workers, n)
-	if workers == 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		go func(lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				fn(lo, hi)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	Default().ForBlocked(n, workers, fn)
 }
 
 // ForDynamic runs fn(lo, hi) over chunks of the given size handed out from a
-// shared atomic counter. This is the dynamically load-balanced ("guided" /
-// work-stealing) schedule that the paper credits for Galois' and NWGraph's
-// good behaviour on skew-degree graphs.
+// shared atomic counter, on the process-default machine. This is the
+// dynamically load-balanced ("guided" / work-stealing) schedule that the
+// paper credits for Galois' and NWGraph's good behaviour on skew-degree
+// graphs.
 func ForDynamic(n, chunk, workers int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	workers = clampWorkers(workers, (n+chunk-1)/chunk)
-	if workers == 1 {
-		fn(0, n)
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	Default().ForDynamic(n, chunk, workers, fn)
 }
 
 // ForCyclic runs fn(i) with rows distributed cyclically across workers:
 // worker w handles i = w, w+workers, w+2*workers, ... The paper calls out
 // NWGraph's cyclic distribution of rows as the reason its triangle counting
-// load-balances well on skewed graphs.
+// load-balances well on skewed graphs. Runs on the process-default machine.
 func ForCyclic(n, workers int, fn func(worker, i int)) {
-	if n <= 0 {
-		return
-	}
-	workers = clampWorkers(workers, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				fn(w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
+	Default().ForCyclic(n, workers, fn)
 }
 
 // ForWorker runs fn once per worker with that worker's id and statically
-// assigned range. It is the building block for kernels that keep per-thread
-// local state (GKC's local buffers, Galois' per-thread worklist chunks).
+// assigned range, on the process-default machine. It is the building block
+// for kernels that keep per-thread local state (GKC's local buffers, Galois'
+// per-thread worklist chunks).
 func ForWorker(n, workers int, fn func(worker, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers = clampWorkers(workers, n)
-	if workers == 1 {
-		fn(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	Default().ForWorker(n, workers, fn)
 }
 
 // ReduceInt64 computes the sum of fn(lo, hi) over statically partitioned
-// ranges. Each worker produces one partial; partials are combined serially,
-// so fn need not synchronize its accumulation.
+// ranges on the process-default machine. Each worker produces one partial;
+// partials are combined serially, so fn need not synchronize its
+// accumulation.
 func ReduceInt64(n, workers int, fn func(lo, hi int) int64) int64 {
-	if n <= 0 {
-		return 0
-	}
-	workers = clampWorkers(workers, n)
-	if workers == 1 {
-		return fn(0, n)
-	}
-	partial := make([]int64, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				partial[w] = fn(lo, hi)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var total int64
-	for _, p := range partial {
-		total += p
-	}
-	return total
+	return Default().ReduceInt64(n, workers, fn)
 }
 
 // ReduceFloat64 is ReduceInt64 for float64 partials (used by PageRank error
 // norms and BC accumulation checks).
 func ReduceFloat64(n, workers int, fn func(lo, hi int) float64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	workers = clampWorkers(workers, n)
-	if workers == 1 {
-		return fn(0, n)
-	}
-	partial := make([]float64, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				partial[w] = fn(lo, hi)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var total float64
-	for _, p := range partial {
-		total += p
-	}
-	return total
+	return Default().ReduceFloat64(n, workers, fn)
 }
 
 // ReduceDynamicInt64 is ReduceInt64 with dynamically scheduled chunks, for
 // reductions over skew-cost iteration spaces (triangle counting).
 func ReduceDynamicInt64(n, chunk, workers int, fn func(lo, hi int) int64) int64 {
-	if n <= 0 {
-		return 0
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	workers = clampWorkers(workers, (n+chunk-1)/chunk)
-	if workers == 1 {
-		return fn(0, n)
-	}
-	partial := make([]int64, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			var local int64
-			for {
-				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
-					break
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				local += fn(lo, hi)
-			}
-			partial[w] = local
-		}(w)
-	}
-	wg.Wait()
-	var total int64
-	for _, p := range partial {
-		total += p
-	}
-	return total
+	return Default().ReduceDynamicInt64(n, chunk, workers, fn)
 }

@@ -231,10 +231,16 @@ func CSV(results []core.Result) string {
 		return a.Framework < b.Framework
 	})
 	var b strings.Builder
-	b.WriteString("mode,graph,kernel,framework,best_seconds,avg_seconds,stddev_seconds,trials,verified,error\n")
+	// The sync_* columns expose each cell's synchronization structure from
+	// the mode's machine (regions launched, inline regions, barrier shares,
+	// dynamic chunks, mean region width) — the per-cell observables behind
+	// the paper's §V-A launch-overhead analysis.
+	b.WriteString("mode,graph,kernel,framework,best_seconds,avg_seconds,stddev_seconds,trials,verified,error," +
+		"sync_workers,sync_regions,sync_serial_regions,sync_barriers,sync_chunks,sync_effective_workers\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%.6f,%.6f,%.6f,%d,%t,%q\n",
-			r.Mode, r.Graph, r.Kernel, r.Framework, r.Seconds, r.AvgSeconds, r.StdDev, r.Trials, r.Verified, r.Err)
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%.6f,%.6f,%.6f,%d,%t,%q,%d,%d,%d,%d,%d,%.2f\n",
+			r.Mode, r.Graph, r.Kernel, r.Framework, r.Seconds, r.AvgSeconds, r.StdDev, r.Trials, r.Verified, r.Err,
+			r.Sync.Workers, r.Sync.Regions, r.Sync.SerialRegions, r.Sync.Barriers, r.Sync.Chunks, r.Sync.EffectiveWorkers)
 	}
 	return b.String()
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# bench.sh — the PR's benchmark evidence, kept cheap enough for CI.
+#
+# Runs two benchmark groups with -benchtime=1x -count=3 (one run per trial,
+# three trials, minimum-of-trials analysis left to the reader/tooling):
+#
+#   1. BenchmarkAblationRegionLaunch — the executor ablation behind the
+#      par.Machine refactor: per-region goroutine fork-join vs the persistent
+#      pooled machine, across region size x round count shapes. The
+#      small-region/many-round corner is the Road-shaped workload the
+#      paper's SS V-A launch-overhead analysis is about; pooled dispatch must
+#      win it.
+#   2. One round-heavy suite cell — GAP/BFS on Road at the test scale
+#      (GAPBENCH_SCALE, default 10). Road's diameter makes BFS run hundreds
+#      of sliding-queue rounds per traversal, so this cell exercises the
+#      machine exactly where per-round dispatch cost shows up end to end.
+#
+# Output: BENCH_PR3.json — one JSON object per benchmark line, fields
+# {bench, ns_per_op, extra}, plus the raw `go test -bench` text on stderr so
+# a human watching CI still sees the familiar table.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR3.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+run_bench() {
+	# $1: -bench regexp
+	go test -run '^$' -bench "$1" -benchtime=1x -count=3 . | tee -a "$RAW" >&2
+}
+
+: >"$RAW"
+
+printf '\n== ablation: region launch (fork-join vs pooled machine)\n' >&2
+run_bench 'BenchmarkAblationRegionLaunch'
+
+printf '\n== round-heavy suite cell: GAP/BFS/Road\n' >&2
+run_bench 'BenchmarkSuite/Baseline/BFS/Road/GAP$'
+
+# Fold the benchmark lines into JSON. awk keeps the script dependency-free:
+# each line "BenchmarkX/sub-8  1  12345 ns/op [extra...]" becomes one object.
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+	extra = ""
+	for (i = 5; i <= NF; i++) extra = extra (extra == "" ? "" : " ") $i
+	if (n++) printf ",\n"
+	printf "  {\"bench\": \"%s\", \"ns_per_op\": %s, \"extra\": \"%s\"}", $1, $3, extra
+}
+END { if (n) printf "\n"; print "]" }
+' "$RAW" >"$OUT"
+
+printf '\nwrote %s (%s benchmark lines)\n' "$OUT" "$(grep -c '"bench"' "$OUT")" >&2

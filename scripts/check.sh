@@ -15,6 +15,11 @@
 #      re-runs grb plus its consumer (lagraph) at -short scale, so a
 #      structurally corrupt vector/matrix panics at the operation boundary
 #      that received it (see DESIGN.md "Runtime sanitizer").
+#   7. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
+#      benchmark (suite cells and ablations, scripts/bench.sh's evidence
+#      included) runs exactly one iteration at the test scale, so a
+#      signature drift or a panic on a bench-only path fails the gate
+#      instead of surfacing months later in a measurement run.
 #
 # Any failure stops the script with a non-zero exit.
 
@@ -41,5 +46,8 @@ go test -race -short ./internal/par/... ./internal/galois/... ./internal/core/..
 
 say "grbcheck sanitizer tier (go test -tags=grbcheck -short)"
 go test -tags=grbcheck -short ./internal/grb/ ./internal/lagraph/
+
+say "benchmark bit-rot guard (go test -run='^$' -bench=. -benchtime=1x)"
+go test -run='^$' -bench=. -benchtime=1x .
 
 say "all checks passed"
