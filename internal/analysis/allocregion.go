@@ -1,8 +1,9 @@
 package analysis
 
 import (
+	"cmp"
 	"go/token"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -103,7 +104,7 @@ func runAllocInTimedRegion(pass *Pass) {
 					": hoist the allocation to setup, or justify with //gapvet:ignore alloc-in-timed-region"})
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	slices.SortFunc(findings, func(a, b finding) int { return cmp.Compare(a.pos, b.pos) })
 	for _, f := range findings {
 		pass.Reportf(f.pos, "%s", f.msg)
 	}

@@ -11,9 +11,10 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"go/token"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -115,18 +116,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	slices.SortFunc(diags, func(a, b Diagnostic) int {
+		if c := cmp.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+			return c
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if c := cmp.Compare(a.Pos.Line, b.Pos.Line); c != 0 {
+			return c
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if c := cmp.Compare(a.Pos.Column, b.Pos.Column); c != 0 {
+			return c
 		}
-		return a.Rule < b.Rule
+		return cmp.Compare(a.Rule, b.Rule)
 	})
 	return diags
 }

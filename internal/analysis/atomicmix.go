@@ -1,8 +1,9 @@
 package analysis
 
 import (
+	"cmp"
 	"go/token"
-	"sort"
+	"slices"
 )
 
 // AtomicPlainMix flags shared state that is accessed through sync/atomic on
@@ -78,7 +79,7 @@ func runAtomicPlainMix(pass *Pass) {
 			findings = append(findings, finding{pos: a.Pos, display: a.Display, key: a.Key})
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	slices.SortFunc(findings, func(a, b finding) int { return cmp.Compare(a.pos, b.pos) })
 	for _, f := range findings {
 		at := pass.Pkg.Fset.Position(atomicSite[f.key])
 		pass.Reportf(f.pos,

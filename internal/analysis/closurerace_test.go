@@ -80,6 +80,50 @@ func Sum(xs []int64) int64 {
 			want: nil,
 		},
 		{
+			name: "per-worker offset-slice scatter is clean",
+			path: "gapbench/internal/demo",
+			files: map[string]string{"ok.go": `package demo
+
+import "gapbench/internal/par"
+
+// The counting-sort scatter: each worker bumps cursors in its own offset
+// slice and writes output cells at the yielded positions. All writes are
+// index expressions on captured slices (disjoint ranges by construction),
+// which must not be flagged.
+func Scatter(keys []int, offsets [][]int64, out []int64) {
+	par.ForWorker(len(keys), len(offsets), func(w, lo, hi int) {
+		off := offsets[w]
+		for i := lo; i < hi; i++ {
+			k := keys[i]
+			pos := off[k]
+			off[k] = pos + 1
+			out[pos] = int64(i)
+		}
+	})
+}
+`},
+			want: nil,
+		},
+		{
+			name: "shared scatter cursor is flagged",
+			path: "gapbench/internal/demo",
+			files: map[string]string{"bad.go": `package demo
+
+import "gapbench/internal/par"
+
+func BrokenScatter(keys []int, out []int64) {
+	var cursor int64
+	par.ForWorker(len(keys), 0, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[cursor] = int64(keys[i])
+			cursor++
+		}
+	})
+}
+`},
+			want: []string{`write to captured variable "cursor" inside par.ForWorker closure`},
+		},
+		{
 			name: "mutex-guarded closure is trusted",
 			path: "gapbench/internal/demo",
 			files: map[string]string{"ok.go": `package demo

@@ -31,10 +31,11 @@ package analysis
 // array everywhere), and //gapvet:ignore remains the escape hatch.
 
 import (
+	"cmp"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -226,7 +227,7 @@ func BuildProgram(pkgs []*Package) *Program {
 	for id := range p.Funcs {
 		p.order = append(p.order, id)
 	}
-	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+	slices.Sort(p.order)
 
 	p.fixSpawnsGo()
 	p.fixConcurrent()
@@ -1075,14 +1076,14 @@ func (p *Program) AllLockEdges() []LockEdge {
 			}
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].Pos != edges[j].Pos {
-			return edges[i].Pos < edges[j].Pos
+	slices.SortFunc(edges, func(a, b LockEdge) int {
+		if c := cmp.Compare(a.Pos, b.Pos); c != 0 {
+			return c
 		}
-		if edges[i].From != edges[j].From {
-			return edges[i].From < edges[j].From
+		if c := cmp.Compare(a.From, b.From); c != 0 {
+			return c
 		}
-		return edges[i].To < edges[j].To
+		return cmp.Compare(a.To, b.To)
 	})
 	return edges
 }
@@ -1096,7 +1097,7 @@ func (p *Program) FuncsInPackage(pkgPath string) []*FuncSummary {
 			out = append(out, s)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	slices.SortFunc(out, func(a, b *FuncSummary) int { return cmp.Compare(a.Pos, b.Pos) })
 	return out
 }
 

@@ -9,7 +9,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -177,7 +177,7 @@ func (l *Loader) parseDir(dir string, includeTests bool) ([]*File, error) {
 		}
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	var files []*File
 	for _, name := range names {
 		full := filepath.Join(dir, name)
@@ -239,7 +239,7 @@ func (l *Loader) LoadSource(importPath string, sources map[string]string) (*Pack
 	for name := range sources {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	var files []*File
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, name, sources[name], parser.ParseComments)

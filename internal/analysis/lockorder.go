@@ -1,8 +1,9 @@
 package analysis
 
 import (
+	"cmp"
 	"go/token"
-	"sort"
+	"slices"
 )
 
 // LockOrder builds a mutex acquisition graph from the function summaries —
@@ -51,11 +52,11 @@ func runLockOrder(pass *Pass) {
 	for p := range first {
 		pairs = append(pairs, p)
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].from != pairs[j].from {
-			return pairs[i].from < pairs[j].from
+	slices.SortFunc(pairs, func(a, b pair) int {
+		if c := cmp.Compare(a.from, b.from); c != 0 {
+			return c
 		}
-		return pairs[i].to < pairs[j].to
+		return cmp.Compare(a.to, b.to)
 	})
 	seen := map[pair]bool{}
 	for _, p := range pairs {

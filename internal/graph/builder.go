@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"gapbench/internal/par"
 )
@@ -39,9 +39,11 @@ type BuildOptions struct {
 // negative or (when NumNodes is set) out of range.
 func Build(edges []Edge, opt BuildOptions) (*Graph, error) {
 	we := make([]WEdge, len(edges))
-	for i, e := range edges {
-		we[i] = WEdge{U: e.U, V: e.V}
-	}
+	par.ForBlocked(len(edges), opt.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			we[i] = WEdge{U: edges[i].U, V: edges[i].V}
+		}
+	})
 	g, err := BuildWeighted(we, opt)
 	if err != nil {
 		return nil, err
@@ -55,40 +57,23 @@ func Build(edges []Edge, opt BuildOptions) (*Graph, error) {
 // When duplicate edges (same u,v) appear, the one with the smallest weight is
 // kept — the only convention under which deduplication cannot change any
 // shortest-path answer.
+//
+// Construction is the GAP reference's parallel two-pass counting sort, not a
+// comparison sort: a sharded per-source histogram, an exclusive scan into the
+// CSR index, a stable per-worker-offset scatter, then per-vertex segment
+// sorts with in-place min-weight deduplication (see par.ShardedHistogram and
+// DESIGN.md "The ingest pipeline"). The directed in-CSR is a second
+// histogram/scan/scatter over the deduplicated out-CSR — transposing a
+// row-sorted CSR with a stable scatter yields row-sorted output directly.
 func BuildWeighted(edges []WEdge, opt BuildOptions) (*Graph, error) {
-	n := opt.NumNodes
-	for _, e := range edges {
-		if e.U < 0 || e.V < 0 {
-			return nil, fmt.Errorf("graph: negative node id in edge (%d,%d)", e.U, e.V)
-		}
-		if opt.NumNodes > 0 && (e.U >= opt.NumNodes || e.V >= opt.NumNodes) {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for %d nodes", e.U, e.V, opt.NumNodes)
-		}
-		if opt.NumNodes == 0 {
-			if e.U >= n {
-				n = e.U + 1
-			}
-			if e.V >= n {
-				n = e.V + 1
-			}
-		}
-	}
-	if n < 0 {
-		return nil, fmt.Errorf("graph: invalid node count %d", n)
+	n, err := checkEdges(edges, opt)
+	if err != nil {
+		return nil, err
 	}
 
 	// Materialize the full directed edge multiset: as-given for directed
 	// graphs, both directions for undirected ones.
-	work := make([]WEdge, 0, len(edges)*2)
-	for _, e := range edges {
-		if e.U == e.V && !opt.KeepSelfLoops {
-			continue
-		}
-		work = append(work, e)
-		if !opt.Directed && e.U != e.V {
-			work = append(work, WEdge{U: e.V, V: e.U, W: e.W})
-		}
-	}
+	work := expandEdges(edges, opt)
 
 	outIndex, outNeigh, outWeight := buildCSR(n, work, opt.Workers)
 	g := &Graph{
@@ -99,90 +84,326 @@ func BuildWeighted(edges []WEdge, opt BuildOptions) (*Graph, error) {
 		outWeight: outWeight,
 	}
 	if opt.Directed {
-		// Transpose for the in-CSR.
-		tr := make([]WEdge, len(work))
-		for i, e := range work {
-			tr[i] = WEdge{U: e.V, V: e.U, W: e.W}
-		}
-		g.inIndex, g.inNeigh, g.inWeight = buildCSR(n, tr, opt.Workers)
+		g.inIndex, g.inNeigh, g.inWeight = transposeCSR(n, outIndex, outNeigh, outWeight, opt.Workers)
 	} else {
 		g.inIndex, g.inNeigh, g.inWeight = outIndex, outNeigh, outWeight
 	}
 	return g, nil
 }
 
-// buildCSR sorts the directed edge list by (U,V), deduplicates (keeping the
-// minimum weight), and packs it into index/neighbor/weight arrays.
-func buildCSR(n int32, edges []WEdge, workers int) ([]int64, []NodeID, []Weight) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+// checkEdges validates endpoints and resolves the vertex count. The checks
+// run as parallel max-reductions (largest endpoint, largest negated
+// endpoint); only when a violation is detected does a serial pass rerun to
+// report the first offending edge in input order, exactly as the historical
+// serial loop did.
+func checkEdges(edges []WEdge, opt BuildOptions) (int32, error) {
+	m := len(edges)
+	n := opt.NumNodes
+	if m == 0 {
+		if n < 0 {
+			return 0, fmt.Errorf("graph: invalid node count %d", n)
 		}
-		if edges[i].V != edges[j].V {
-			return edges[i].V < edges[j].V
-		}
-		return edges[i].W < edges[j].W
-	})
-	// Deduplicate in place; after the sort the min-weight duplicate is first.
-	kept := edges[:0]
-	for i, e := range edges {
-		if i > 0 && e.U == edges[i-1].U && e.V == edges[i-1].V {
-			continue
-		}
-		kept = append(kept, e)
+		return n, nil
 	}
-
-	index := make([]int64, n+1)
-	for _, e := range kept {
-		index[e.U+1]++
-	}
-	for i := int32(0); i < n; i++ {
-		index[i+1] += index[i]
-	}
-	neigh := make([]NodeID, len(kept))
-	weight := make([]Weight, len(kept))
-	par.ForBlocked(len(kept), workers, func(lo, hi int) {
+	maxEnd := par.ReduceMaxInt64(m, opt.Workers, func(lo, hi int) int64 {
+		mx := int64(math.MinInt64)
 		for i := lo; i < hi; i++ {
-			neigh[i] = kept[i].V
-			weight[i] = kept[i].W
+			if v := int64(edges[i].U); v > mx {
+				mx = v
+			}
+			if v := int64(edges[i].V); v > mx {
+				mx = v
+			}
+		}
+		return mx
+	})
+	minEnd := -par.ReduceMaxInt64(m, opt.Workers, func(lo, hi int) int64 {
+		mx := int64(math.MinInt64)
+		for i := lo; i < hi; i++ {
+			if v := -int64(edges[i].U); v > mx {
+				mx = v
+			}
+			if v := -int64(edges[i].V); v > mx {
+				mx = v
+			}
+		}
+		return mx
+	})
+	if minEnd < 0 || (opt.NumNodes > 0 && maxEnd >= int64(opt.NumNodes)) {
+		// Rare path: rescan serially for the first offender in input order.
+		for _, e := range edges {
+			if e.U < 0 || e.V < 0 {
+				return 0, fmt.Errorf("graph: negative node id in edge (%d,%d)", e.U, e.V)
+			}
+			if opt.NumNodes > 0 && (e.U >= opt.NumNodes || e.V >= opt.NumNodes) {
+				return 0, fmt.Errorf("graph: edge (%d,%d) out of range for %d nodes", e.U, e.V, opt.NumNodes)
+			}
+		}
+	}
+	if opt.NumNodes == 0 {
+		// Inference via the max-reduce; int32 wraparound on max(endpoint)+1
+		// surfaces below as the historical invalid-count error.
+		n = int32(maxEnd) + 1
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("graph: invalid node count %d", n)
+	}
+	return n, nil
+}
+
+// expandEdges materializes the directed edge multiset the CSR is built from:
+// self-loops dropped (unless kept), and for undirected graphs each edge
+// emitted in both directions. The output order matches the historical serial
+// append — a parallel filter over static per-worker ranges writes each
+// worker's survivors contiguously at its scanned offset, so global input
+// order is preserved and downstream stability arguments still hold.
+func expandEdges(edges []WEdge, opt BuildOptions) []WEdge {
+	slots := opt.Workers
+	if slots < 1 {
+		slots = par.DefaultWorkers()
+	}
+	// counts is indexed by ForWorker slot id; both passes use the identical
+	// (n, workers) partition, so per-slot ranges line up.
+	counts := make([]int64, slots)
+	par.ForWorker(len(edges), opt.Workers, func(w, lo, hi int) {
+		var c int64
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U == e.V {
+				if opt.KeepSelfLoops {
+					c++
+				}
+				continue
+			}
+			c++
+			if !opt.Directed {
+				c++
+			}
+		}
+		counts[w] = c
+	})
+	var total int64
+	for w, c := range counts {
+		counts[w] = total
+		total += c
+	}
+	work := make([]WEdge, total)
+	par.ForWorker(len(edges), opt.Workers, func(w, lo, hi int) {
+		pos := counts[w]
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U == e.V {
+				if opt.KeepSelfLoops {
+					work[pos] = e
+					pos++
+				}
+				continue
+			}
+			work[pos] = e
+			pos++
+			if !opt.Directed {
+				work[pos] = WEdge{U: e.V, V: e.U, W: e.W}
+				pos++
+			}
 		}
 	})
-	return index, neigh, weight
+	return work
+}
+
+// buildCSR packs a directed edge multiset into index/neighbor/weight arrays
+// via the counting-sort pipeline: per-source histogram, exclusive scan,
+// stable scatter, then per-vertex segment sort and min-weight dedup. No
+// comparison sort ever sees the full edge list.
+func buildCSR(n int32, edges []WEdge, workers int) ([]int64, []NodeID, []Weight) {
+	h := par.ShardedHistogram(len(edges), int(n), workers, func(i int) int { return int(edges[i].U) })
+	index := h.Index()
+	neigh := make([]NodeID, len(edges))
+	weight := make([]Weight, len(edges))
+	h.Scatter(func(i int, pos int64) {
+		neigh[pos] = edges[i].V
+		weight[pos] = edges[i].W
+	})
+	return finalizeRows(n, index, neigh, weight, workers)
+}
+
+// finalizeRows sorts every adjacency segment by (neighbor, weight),
+// deduplicates in place keeping each neighbor's first (minimum-weight)
+// entry, and — only when duplicates existed — compacts into fresh arrays
+// under a rescanned index. Rows are processed under a dynamic schedule
+// because segment lengths are the degree distribution itself: power-law
+// inputs put hub rows many orders of magnitude above the mean.
+func finalizeRows(n int32, index []int64, neigh []NodeID, weight []Weight, workers int) ([]int64, []NodeID, []Weight) {
+	kept := make([]int64, n)
+	par.ForDynamic(int(n), 128, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			s, e := index[u], index[u+1]
+			vs := neigh[s:e]
+			var ws []Weight
+			if weight != nil {
+				ws = weight[s:e]
+			}
+			sortRow(vs, ws)
+			// First entry of each neighbor run carries the minimum weight.
+			k := 0
+			for i := 0; i < len(vs); i++ {
+				if i > 0 && vs[i] == vs[k-1] {
+					continue
+				}
+				vs[k] = vs[i]
+				if ws != nil {
+					ws[k] = ws[i]
+				}
+				k++
+			}
+			kept[u] = int64(k)
+		}
+	})
+	newIndex := par.PrefixSum(kept, workers)
+	if n == 0 || newIndex[n] == index[n] {
+		// No duplicates anywhere: the in-place sort already finalized the
+		// arrays and the original index still describes them.
+		return index, neigh, weight
+	}
+	packedNeigh := make([]NodeID, newIndex[n])
+	var packedWeight []Weight
+	if weight != nil {
+		packedWeight = make([]Weight, newIndex[n])
+	}
+	par.ForDynamic(int(n), 128, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			s, d, c := index[u], newIndex[u], kept[u]
+			copy(packedNeigh[d:d+c], neigh[s:s+c])
+			if weight != nil {
+				copy(packedWeight[d:d+c], weight[s:s+c])
+			}
+		}
+	})
+	return newIndex, packedNeigh, packedWeight
+}
+
+// expandRowIDs inverts a CSR index: rows[i] is the row owning position i.
+// The scatter passes of transposition and symmetrization need the source
+// endpoint of every stored edge without a per-item search.
+func expandRowIDs(n int32, index []int64, workers int) []NodeID {
+	rows := make([]NodeID, index[n])
+	par.ForDynamic(int(n), 256, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for i := index[u]; i < index[u+1]; i++ {
+				rows[i] = NodeID(u)
+			}
+		}
+	})
+	return rows
+}
+
+// transposeCSR builds the transpose of a deduplicated, row-sorted CSR with
+// one histogram/scan/scatter round. Stability makes the segment sort
+// unnecessary: items are walked in row-major order, so within each output
+// row the (source) values arrive in increasing order, and dedup is moot
+// because the input rows were already duplicate-free.
+func transposeCSR(n int32, index []int64, neigh []NodeID, weight []Weight, workers int) ([]int64, []NodeID, []Weight) {
+	rows := expandRowIDs(n, index, workers)
+	h := par.ShardedHistogram(len(neigh), int(n), workers, func(i int) int { return int(neigh[i]) })
+	tIndex := h.Index()
+	tNeigh := make([]NodeID, len(neigh))
+	var tWeight []Weight
+	if weight != nil {
+		tWeight = make([]Weight, len(neigh))
+	}
+	h.Scatter(func(i int, pos int64) {
+		tNeigh[pos] = rows[i]
+		if tWeight != nil {
+			tWeight[pos] = weight[i]
+		}
+	})
+	return tIndex, tNeigh, tWeight
 }
 
 // Undirected returns an undirected view of g: g itself when already
 // undirected, otherwise a new symmetrized graph (u–v present when either
 // direction was). Triangle counting and connected components consume this,
 // mirroring the GAP treatment of directed inputs.
+//
+// Symmetrization is direct CSR→CSR: a doubled histogram (each stored edge
+// u→v counts toward row u and row v), scan, stable scatter of both
+// orientations, then the usual segment sort + min-weight dedup — no
+// intermediate edge-list materialization. Self-loops are dropped, matching
+// the historical path through the default builder options.
 func (g *Graph) Undirected() *Graph {
 	if !g.directed {
 		return g
 	}
-	edges := make([]WEdge, 0, g.NumEdges())
+	n := g.n
 	hasW := g.Weighted()
-	for u := int32(0); u < g.n; u++ {
-		neigh := g.OutNeighbors(u)
-		var ws []Weight
-		if hasW {
-			ws = g.OutWeights(u)
-		}
-		for i, v := range neigh {
-			w := Weight(0)
-			if hasW {
-				w = ws[i]
+	src := expandRowIDs(n, g.outIndex, 0)
+	dst := g.outNeigh
+	ws := g.outWeight
+	m := len(dst)
+	loops := par.ReduceInt64(m, 0, func(lo, hi int) int64 {
+		var c int64
+		for i := lo; i < hi; i++ {
+			if src[i] == dst[i] {
+				c++
 			}
-			edges = append(edges, WEdge{U: u, V: v, W: w})
 		}
+		return c
+	})
+	if loops > 0 {
+		// Rare: only graphs built with KeepSelfLoops reach here. Filter the
+		// loops out up front so the doubled histogram needs no skip logic.
+		fs := make([]NodeID, 0, m-int(loops))
+		fd := make([]NodeID, 0, m-int(loops))
+		var fw []Weight
+		if hasW {
+			fw = make([]Weight, 0, m-int(loops))
+		}
+		for i := 0; i < m; i++ {
+			if src[i] == dst[i] {
+				continue
+			}
+			fs = append(fs, src[i])
+			fd = append(fd, dst[i])
+			if hasW {
+				fw = append(fw, ws[i])
+			}
+		}
+		src, dst, ws, m = fs, fd, fw, len(fs)
 	}
-	ug, err := BuildWeighted(edges, BuildOptions{NumNodes: g.n, Directed: false})
-	if err != nil {
-		// Inputs came from a valid graph; failure here is a program bug.
-		panic("graph: symmetrize: " + err.Error())
+
+	// 2m logical items: item i < m is the stored orientation src[i]→dst[i],
+	// item m+i the reverse. Stability keeps per-row entries in a
+	// deterministic order before the segment sort canonicalizes them.
+	h := par.ShardedHistogram(2*m, int(n), 0, func(i int) int {
+		if i < m {
+			return int(src[i])
+		}
+		return int(dst[i-m])
+	})
+	uIndex := h.Index()
+	uNeigh := make([]NodeID, 2*m)
+	var uWeight []Weight
+	if hasW {
+		uWeight = make([]Weight, 2*m)
 	}
-	if !hasW {
-		ug.outWeight, ug.inWeight = nil, nil
+	h.Scatter(func(i int, pos int64) {
+		if i < m {
+			uNeigh[pos] = dst[i]
+			if hasW {
+				uWeight[pos] = ws[i]
+			}
+		} else {
+			uNeigh[pos] = src[i-m]
+			if hasW {
+				uWeight[pos] = ws[i-m]
+			}
+		}
+	})
+	uIndex, uNeigh, uWeight = finalizeRows(n, uIndex, uNeigh, uWeight, 0)
+	return &Graph{
+		n: n, directed: false,
+		outIndex: uIndex, outNeigh: uNeigh, outWeight: uWeight,
+		inIndex: uIndex, inNeigh: uNeigh, inWeight: uWeight,
 	}
-	return ug
 }
 
 // FromCSR adopts pre-built CSR arrays after validating their structure:

@@ -37,6 +37,36 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzBuildMatchesReference decodes arbitrary bytes into small edge lists
+// (high collision rate: 32 vertices, 4 weight values, so duplicates and
+// weight ties abound) and cross-checks the counting-sort builder against the
+// retained sort-based reference from builder_ref_test.go.
+func FuzzBuildMatchesReference(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1, 0, 0, 3}, false, false)
+	f.Add([]byte{3, 3, 3, 3, 7, 1, 3, 3, 2}, true, true)
+	f.Add([]byte{}, true, false)
+	f.Fuzz(func(t *testing.T, data []byte, directed, keep bool) {
+		var edges []graph.WEdge
+		for i := 0; i+2 < len(data); i += 3 {
+			edges = append(edges, graph.WEdge{
+				U: graph.NodeID(data[i] % 32),
+				V: graph.NodeID(data[i+1] % 32),
+				W: graph.Weight(data[i+2] % 4),
+			})
+		}
+		opt := graph.BuildOptions{Directed: directed, KeepSelfLoops: keep}
+		rg, refErr := refBuildWeighted(t, edges, opt)
+		g, err := graph.BuildWeighted(edges, opt)
+		if (err != nil) != (refErr != nil) {
+			t.Fatalf("err = %v, reference err = %v", err, refErr)
+		}
+		if err != nil {
+			return
+		}
+		assertCSREqual(t, "fuzz", g, rg, true)
+	})
+}
+
 // FuzzReadFrom feeds arbitrary bytes to the binary deserializer: it must
 // never panic and never return a structurally inconsistent graph.
 func FuzzReadFrom(f *testing.F) {

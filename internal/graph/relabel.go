@@ -1,7 +1,8 @@
 package graph
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"gapbench/internal/par"
 )
@@ -12,19 +13,31 @@ import (
 // from the lower-degree endpoint toward the higher-degree one, shrinking the
 // intersection search space; the GAP rules require the relabeling time to be
 // counted unless the Optimized rule set is in effect.
+//
+// Degrees are bounded by n, so the ordering is a counting sort — histogram
+// over (maxDegree - degree), exclusive scan, stable scatter — O(n + maxdeg)
+// instead of the comparison sort's O(n log n). The scatter's stability is the
+// determinism guarantee the old stable sort provided: vertices are walked in
+// id order, so equal-degree vertices keep ascending ids.
 func DegreeRelabel(g *Graph) (*Graph, []NodeID) {
 	n := g.NumNodes()
-	order := make([]NodeID, n)
-	for i := range order {
-		order[i] = NodeID(i)
-	}
-	// Stable tie-break on id keeps the permutation deterministic.
-	sort.SliceStable(order, func(i, j int) bool {
-		return g.OutDegree(order[i]) > g.OutDegree(order[j])
-	})
 	perm := make([]NodeID, n)
-	for newID, oldID := range order {
-		perm[oldID] = NodeID(newID)
+	if n > 0 {
+		maxDeg := par.ReduceMaxInt64(int(n), 0, func(lo, hi int) int64 {
+			var mx int64
+			for u := lo; u < hi; u++ {
+				if d := g.OutDegree(NodeID(u)); d > mx {
+					mx = d
+				}
+			}
+			return mx
+		})
+		// Bin b holds degree maxDeg-b, so ascending bins are descending
+		// degrees and the scatter position is directly the new vertex id.
+		h := par.ShardedHistogram(int(n), int(maxDeg)+1, 0, func(i int) int {
+			return int(maxDeg - g.OutDegree(NodeID(i)))
+		})
+		h.Scatter(func(i int, pos int64) { perm[i] = NodeID(pos) })
 	}
 	return ApplyPermutation(g, perm), perm
 }
@@ -102,7 +115,9 @@ func permuteCSR(g *Graph, perm []NodeID, in bool) ([]int64, []NodeID, []Weight) 
 			}
 			row[i] = pair{perm[v], w}
 		}
-		sort.Slice(row, func(i, j int) bool { return row[i].v < row[j].v })
+		// Rows are duplicate-free, so ordering by the renamed neighbor alone
+		// is total; SortFunc avoids sort.Slice's reflection-based swaps.
+		slices.SortFunc(row, func(a, b pair) int { return cmp.Compare(a.v, b.v) })
 		for i, p := range row {
 			neigh[base+int64(i)] = p.v
 			if hasW {

@@ -1,0 +1,98 @@
+package graph
+
+import "slices"
+
+// segsort.go: the per-vertex segment sort used by the counting-sort ingest
+// pipeline. After the stable scatter groups edges by source vertex, each
+// adjacency segment is sorted independently — rows are short on every GAP
+// shape (average degree 16-38, heavy-tail hubs excepted), so an insertion
+// sort with a quicksort fallback beats a general-purpose sort's dispatch
+// overhead, and the weighted variant co-sorts the parallel weight array
+// without materializing (neighbor, weight) pair structs.
+
+// sortRowThreshold is the segment length at or below which insertion sort
+// runs directly; above it quicksort partitions first. 24 matches the stdlib
+// pdqsort's small-slice cutoff neighborhood.
+const sortRowThreshold = 24
+
+// sortRow sorts one adjacency segment in place. With ws == nil it orders
+// neighbors ascending; otherwise it orders (neighbor, weight)
+// lexicographically, keeping ws parallel to vs — the order the min-weight
+// deduplication pass depends on (the first entry of a neighbor run carries
+// the minimum weight).
+func sortRow(vs []NodeID, ws []Weight) {
+	if ws == nil {
+		slices.Sort(vs)
+		return
+	}
+	sortRowW(vs, ws)
+}
+
+// sortRowW is the weighted co-sort: quicksort on (v, w) keys with
+// median-of-three pivoting, falling back to insertion sort on short runs.
+func sortRowW(vs []NodeID, ws []Weight) {
+	for len(vs) > sortRowThreshold {
+		p := partitionRow(vs, ws)
+		// Recurse into the smaller half, loop on the larger: O(log n) stack.
+		if p < len(vs)-p-1 {
+			sortRowW(vs[:p], ws[:p])
+			vs, ws = vs[p+1:], ws[p+1:]
+		} else {
+			sortRowW(vs[p+1:], ws[p+1:])
+			vs, ws = vs[:p], ws[:p]
+		}
+	}
+	insertRow(vs, ws)
+}
+
+// rowLess orders (v1,w1) before (v2,w2) lexicographically.
+func rowLess(v1 NodeID, w1 Weight, v2 NodeID, w2 Weight) bool {
+	return v1 < v2 || (v1 == v2 && w1 < w2)
+}
+
+// insertRow is insertion sort over the paired arrays.
+func insertRow(vs []NodeID, ws []Weight) {
+	for i := 1; i < len(vs); i++ {
+		v, w := vs[i], ws[i]
+		j := i - 1
+		for j >= 0 && rowLess(v, w, vs[j], ws[j]) {
+			vs[j+1], ws[j+1] = vs[j], ws[j]
+			j--
+		}
+		vs[j+1], ws[j+1] = v, w
+	}
+}
+
+// partitionRow is a Hoare-style partition with a median-of-three pivot moved
+// to the end; it returns the pivot's final position.
+func partitionRow(vs []NodeID, ws []Weight) int {
+	hi := len(vs) - 1
+	mid := hi / 2
+	// Order vs[0], vs[mid], vs[hi] so the median lands at mid.
+	if rowLess(vs[mid], ws[mid], vs[0], ws[0]) {
+		vs[0], vs[mid] = vs[mid], vs[0]
+		ws[0], ws[mid] = ws[mid], ws[0]
+	}
+	if rowLess(vs[hi], ws[hi], vs[0], ws[0]) {
+		vs[0], vs[hi] = vs[hi], vs[0]
+		ws[0], ws[hi] = ws[hi], ws[0]
+	}
+	if rowLess(vs[hi], ws[hi], vs[mid], ws[mid]) {
+		vs[mid], vs[hi] = vs[hi], vs[mid]
+		ws[mid], ws[hi] = ws[hi], ws[mid]
+	}
+	vs[mid], vs[hi] = vs[hi], vs[mid]
+	ws[mid], ws[hi] = ws[hi], ws[mid]
+	pv, pw := vs[hi], ws[hi]
+	at := 0
+	for i := 0; i < hi; i++ {
+		if rowLess(vs[i], ws[i], pv, pw) {
+			vs[at], vs[i] = vs[i], vs[at]
+			ws[at], ws[i] = ws[i], ws[at]
+			at++
+		}
+	}
+	vs[at], vs[hi] = vs[hi], vs[at]
+	ws[at], ws[hi] = ws[hi], ws[at]
+	return at
+}

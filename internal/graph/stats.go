@@ -1,8 +1,9 @@
 package graph
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // DegreeDistribution classifies a graph's out-degree distribution the way the
@@ -95,7 +96,7 @@ func ClassifyDegrees(g *Graph) DegreeDistribution {
 		x = x*6364136223846793005 + 1442695040888963407
 		sample = append(sample, degree(NodeID((x>>17)%uint64(n))))
 	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	slices.Sort(sample)
 	median := float64(sample[len(sample)/2])
 
 	switch {
@@ -189,7 +190,7 @@ func DegreeHistogram(g *Graph) [][2]int64 {
 	for d, c := range counts {
 		out = append(out, [2]int64{d, c})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	slices.SortFunc(out, func(a, b [2]int64) int { return cmp.Compare(a[0], b[0]) })
 	return out
 }
 
@@ -215,7 +216,7 @@ func SkewedDegrees(g *Graph) bool {
 		x = x*6364136223846793005 + 1442695040888963407
 		degrees = append(degrees, g.OutDegree(NodeID((x>>17)%uint64(n))))
 	}
-	sort.Slice(degrees, func(i, j int) bool { return degrees[i] < degrees[j] })
+	slices.Sort(degrees)
 	median := degrees[len(degrees)/2]
 	var sum int64
 	for _, d := range degrees {

@@ -7,6 +7,8 @@ package grb
 // algorithms is not a GraphBLAS — downstream users compose new algorithms
 // from exactly these primitives.
 
+import "gapbench/internal/par"
+
 // EWiseAdd combines two vectors with union semantics: positions present in
 // either input appear in the output; positions present in both are combined
 // with add.
@@ -49,36 +51,41 @@ func EWiseMult[T Number](a, b *Vector[T], mult func(x, y T) T) *Vector[T] {
 
 // Transpose returns A' as a new CSR matrix (GrB_transpose materialized; the
 // LAGraph_Graph convention of caching A' at load time builds on this).
+//
+// Like the graph builder's in-CSR construction, this is the parallel
+// counting-sort pipeline — a sharded per-column histogram, an exclusive scan
+// (which *is* the transposed rowPtr), and a stable per-worker-offset scatter.
+// Stability preserves the grbcheck CSR invariants without a sort: entries are
+// walked in row-major order, so each transposed row receives its (source-row)
+// column indices in strictly increasing order, sorted and duplicate-free.
 func (m *Matrix) Transpose() *Matrix {
 	checkMatrix("Transpose input", m)
+	nv := int(m.NVals())
 	t := &Matrix{
 		nrows:  m.ncols,
 		ncols:  m.nrows,
-		rowPtr: make([]Index, m.ncols+1),
-		colInd: make([]Index, m.NVals()),
+		colInd: make([]Index, nv),
 	}
 	if m.weight != nil {
-		t.weight = make([]int32, m.NVals())
+		t.weight = make([]int32, nv)
 	}
-	for _, c := range m.colInd {
-		t.rowPtr[c+1]++
-	}
-	for i := Index(0); i < m.ncols; i++ {
-		t.rowPtr[i+1] += t.rowPtr[i]
-	}
-	fill := make([]Index, m.ncols)
-	copy(fill, t.rowPtr[:m.ncols])
-	for r := Index(0); r < m.nrows; r++ {
-		cols, ws := m.Row(r)
-		for i, c := range cols {
-			pos := fill[c]
-			fill[c]++
-			t.colInd[pos] = r
-			if ws != nil {
-				t.weight[pos] = ws[i]
+	// rows[i] = source row owning entry i (the transposed column index).
+	rows := make([]Index, nv)
+	par.ForDynamic(int(m.nrows), 256, 0, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+				rows[i] = Index(r)
 			}
 		}
-	}
+	})
+	h := par.ShardedHistogram(nv, int(m.ncols), 0, func(i int) int { return int(m.colInd[i]) })
+	t.rowPtr = h.Index()
+	h.Scatter(func(i int, pos int64) {
+		t.colInd[pos] = rows[i]
+		if t.weight != nil {
+			t.weight[pos] = m.weight[i]
+		}
+	})
 	checkMatrix("Transpose output", t)
 	return t
 }

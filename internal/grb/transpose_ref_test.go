@@ -1,0 +1,79 @@
+package grb_test
+
+// transpose_ref_test.go: differential test for the counting-sort-based
+// Matrix.Transpose. The reference is the obvious serial bucket transpose —
+// walk rows in order, append each entry to its destination column's bucket —
+// which yields transposed rows whose column indices ascend by construction.
+// The pipeline implementation must match it entry for entry, weights
+// included.
+
+import (
+	"math/rand"
+	"testing"
+
+	"gapbench/internal/graph"
+	"gapbench/internal/grb"
+)
+
+func TestTransposeMatchesBucketReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x7ab1e))
+	for trial := 0; trial < 5; trial++ {
+		n := int32(2 + rng.Int31n(80))
+		edges := make([]graph.WEdge, 12*n)
+		for i := range edges {
+			edges[i] = graph.WEdge{
+				U: rng.Int31n(n), V: rng.Int31n(n), W: 1 + rng.Int31n(9),
+			}
+		}
+		g, err := graph.BuildWeighted(edges, graph.BuildOptions{NumNodes: n, Directed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, withWeights := range []bool{false, true} {
+			a := grb.FromGraph(g, false, withWeights)
+			at := a.Transpose()
+			if at.NRows() != a.NCols() || at.NCols() != a.NRows() || at.NVals() != a.NVals() {
+				t.Fatalf("trial %d: transpose dims/nvals %dx%d/%d, want %dx%d/%d",
+					trial, at.NRows(), at.NCols(), at.NVals(), a.NCols(), a.NRows(), a.NVals())
+			}
+
+			// Reference bucket transpose.
+			type entry struct {
+				row grb.Index
+				w   int32
+			}
+			buckets := make([][]entry, a.NCols())
+			for r := grb.Index(0); r < a.NRows(); r++ {
+				cols, ws := a.Row(r)
+				for i, c := range cols {
+					w := int32(0)
+					if ws != nil {
+						w = ws[i]
+					}
+					buckets[c] = append(buckets[c], entry{row: r, w: w})
+				}
+			}
+			for c := grb.Index(0); c < at.NRows(); c++ {
+				rows, ws := at.Row(c)
+				if len(rows) != len(buckets[c]) {
+					t.Fatalf("trial %d: transposed row %d has %d entries, want %d",
+						trial, c, len(rows), len(buckets[c]))
+				}
+				if withWeights == (ws == nil) {
+					t.Fatalf("trial %d: transposed row %d weights presence = %v, withWeights = %v",
+						trial, c, ws != nil, withWeights)
+				}
+				for i, e := range buckets[c] {
+					if rows[i] != e.row {
+						t.Fatalf("trial %d: transposed row %d entry %d = %d, want %d",
+							trial, c, i, rows[i], e.row)
+					}
+					if withWeights && ws[i] != e.w {
+						t.Fatalf("trial %d: transposed row %d weight %d = %d, want %d",
+							trial, c, i, ws[i], e.w)
+					}
+				}
+			}
+		}
+	}
+}

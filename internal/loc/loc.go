@@ -7,10 +7,11 @@
 package loc
 
 import (
+	"cmp"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -83,7 +84,7 @@ func tallyFile(src string, c *Count) {
 // Report renders counts as an aligned table sorted by code size.
 func Report(counts []Count) string {
 	sorted := append([]Count(nil), counts...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Code < sorted[j].Code })
+	slices.SortFunc(sorted, func(a, b Count) int { return cmp.Compare(a.Code, b.Code) })
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s %6s %8s %10s %7s\n", "Framework", "Files", "Code", "Comments", "Blank")
 	for _, c := range sorted {

@@ -1,21 +1,27 @@
 #!/usr/bin/env sh
 # bench.sh — the PR's benchmark evidence, kept cheap enough for CI.
 #
-# Runs two benchmark groups with -benchtime=1x -count=3 (one run per trial,
+# Runs four benchmark groups with -benchtime=1x -count=3 (one run per trial,
 # three trials, minimum-of-trials analysis left to the reader/tooling):
 #
-#   1. BenchmarkAblationRegionLaunch — the executor ablation behind the
+#   1. BenchmarkBuild — the counting-sort CSR ingest pipeline vs the
+#      retained sort-based reference builder (SortRef), across the three GAP
+#      degree shapes x directed/undirected x weighted/unweighted. The Kron
+#      cells carry 2^18 edges; Counting must beat SortRef by >= 2x there.
+#   2. BenchmarkTranspose — the same histogram/scan/scatter pipeline under
+#      GraphBLAS's 64-bit indices (grb.Matrix.Transpose).
+#   3. BenchmarkAblationRegionLaunch — the executor ablation behind the
 #      par.Machine refactor: per-region goroutine fork-join vs the persistent
 #      pooled machine, across region size x round count shapes. The
 #      small-region/many-round corner is the Road-shaped workload the
 #      paper's SS V-A launch-overhead analysis is about; pooled dispatch must
 #      win it.
-#   2. One round-heavy suite cell — GAP/BFS on Road at the test scale
+#   4. One round-heavy suite cell — GAP/BFS on Road at the test scale
 #      (GAPBENCH_SCALE, default 10). Road's diameter makes BFS run hundreds
 #      of sliding-queue rounds per traversal, so this cell exercises the
 #      machine exactly where per-round dispatch cost shows up end to end.
 #
-# Output: BENCH_PR3.json — one JSON object per benchmark line, fields
+# Output: BENCH_PR4.json — one JSON object per benchmark line, fields
 # {bench, ns_per_op, extra}, plus the raw `go test -bench` text on stderr so
 # a human watching CI still sees the familiar table.
 
@@ -23,7 +29,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -33,6 +39,12 @@ run_bench() {
 }
 
 : >"$RAW"
+
+printf '\n== ingest: counting-sort pipeline vs sort-based reference\n' >&2
+run_bench 'BenchmarkBuild'
+
+printf '\n== ingest: GraphBLAS transpose (64-bit indices)\n' >&2
+run_bench 'BenchmarkTranspose'
 
 printf '\n== ablation: region launch (fork-join vs pooled machine)\n' >&2
 run_bench 'BenchmarkAblationRegionLaunch'

@@ -16,8 +16,9 @@
 #      structurally corrupt vector/matrix panics at the operation boundary
 #      that received it (see DESIGN.md "Runtime sanitizer").
 #   7. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
-#      benchmark (suite cells and ablations, scripts/bench.sh's evidence
-#      included) runs exactly one iteration at the test scale, so a
+#      benchmark (suite cells, ablations, and the ingest-pipeline
+#      Build/Transpose groups — scripts/bench.sh's evidence included)
+#      runs exactly one iteration at the test scale, so a
 #      signature drift or a panic on a bench-only path fails the gate
 #      instead of surfacing months later in a measurement run.
 #
