@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"gapbench/internal/core"
 	"gapbench/internal/generate"
@@ -40,16 +41,23 @@ func main() {
 		graphDir   = flag.String("graphdir", "", "cache directory for serialized graphs (generate once, reload after)")
 		noVerify   = flag.Bool("noverify", false, "skip oracle verification of results")
 		quiet      = flag.Bool("q", false, "suppress per-cell progress lines")
+		timeout    = flag.Duration("timeout", 0, "per-trial deadline (0 = none); overruns mark the cell TimedOut instead of hanging the run")
+		journal    = flag.String("journal", "", "append each completed cell to this JSONL journal")
+		resume     = flag.Bool("resume", false, "replay cells already in -journal instead of re-running them")
 	)
 	flag.Parse()
 
-	if err := run(*tableFlag, *scale, *trials, *graphsFlag, *kernsFlag, *fwFlag, *modeFlag, *csvPath, *mdPath, *graphDir, !*noVerify, *quiet); err != nil {
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "gapbench: -resume requires -journal")
+		os.Exit(1)
+	}
+	if err := run(*tableFlag, *scale, *trials, *graphsFlag, *kernsFlag, *fwFlag, *modeFlag, *csvPath, *mdPath, *graphDir, !*noVerify, *quiet, *timeout, *journal, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "gapbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeSel, csvPath, mdPath, graphDir string, doVerify, quiet bool) error {
+func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeSel, csvPath, mdPath, graphDir string, doVerify, quiet bool, timeout time.Duration, journal string, resume bool) error {
 	frameworks := core.Frameworks()
 	if fwCSV != "" {
 		var subset []kernel.Framework
@@ -152,6 +160,9 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 	runner := core.NewRunner()
 	runner.Trials = trials
 	runner.Verify = doVerify
+	runner.Timeout = timeout
+	runner.JournalPath = journal
+	runner.Resume = resume
 	defer runner.Close()                  // park the per-mode machines
 	core.PrepareViews(frameworks, inputs) // untimed load-phase conversions
 
@@ -160,13 +171,21 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 			return
 		}
 		status := "ok"
-		if !r.Verified {
-			status = "FAILED VERIFY: " + r.Err
+		switch {
+		case r.Status != core.OK:
+			status = r.Status.String() + ": " + r.Err
+		case r.Resumed:
+			status = "ok (resumed)"
+		case r.Retries > 0:
+			status = fmt.Sprintf("ok (%d retries)", r.Retries)
 		}
 		fmt.Fprintf(os.Stderr, "%-9s %-10s %-4s %-7s best=%.4fs avg=%.4fs %s\n",
 			r.Mode, r.Framework, r.Kernel, r.Graph, r.Seconds, r.AvgSeconds, status)
 	}
-	results := runner.RunSuite(frameworks, inputs, modes, kernels, progress)
+	results, err := runner.RunSuite(frameworks, inputs, modes, kernels, progress)
+	if err != nil {
+		return err
+	}
 
 	if wantTable("IV") {
 		fmt.Println(report.TableIV(results, names))
@@ -188,8 +207,9 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 		fmt.Fprintf(os.Stderr, "wrote %s\n", mdPath)
 	}
 	for _, r := range results {
-		if !r.Verified {
-			return fmt.Errorf("verification failures occurred (first: %s)", r.Err)
+		if r.Status != core.OK {
+			return fmt.Errorf("cells failed (first: %s %s on %s [%s]: %s)",
+				r.Framework, r.Kernel, r.Graph, r.Status, r.Err)
 		}
 	}
 	return nil

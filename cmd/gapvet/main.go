@@ -15,8 +15,10 @@
 //	                       ABBA inversions are found across function boundaries
 //	alloc-in-timed-region  no per-element allocation on the parallel hot paths of
 //	                       timed kernel packages
+//	swallowed-panic        recover() must record or rethrow the panic value; the
+//	                       fault model sanctions no silent swallowing
 //
-// The last four are dataflow rules: they run on a module-wide call graph
+// Four of these are dataflow rules: they run on a module-wide call graph
 // built from per-function fact summaries (see internal/analysis/facts.go),
 // so a violation may be reported in a function that looks innocent on its
 // own — the message names the chain that convicts it.

@@ -1,0 +1,43 @@
+// Package sandbox is a gapvet test fixture (never built): it isolates
+// kernel trials behind recover() but swallows the panic value in two ways,
+// which the swallowed-panic rule must flag. The recording variant at the
+// bottom is the sanctioned pattern and must stay clean.
+package sandbox
+
+import "fmt"
+
+// lastFailure is where a well-behaved sandbox records what it caught.
+var lastFailure string
+
+// tripped only remembers *that* something panicked, not *what* — exactly
+// the information loss the rule exists to prevent.
+var tripped bool
+
+// EatSilently discards the panic value entirely.
+func EatSilently(trial func()) {
+	defer func() {
+		recover()
+	}()
+	trial()
+}
+
+// EatAfterNilCheck binds the value but only compares it against nil.
+func EatAfterNilCheck(trial func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			tripped = true
+		}
+	}()
+	trial()
+}
+
+// Record is the sanctioned sandbox: the caught value is rendered into the
+// trial record, so a kernel crash stays diagnosable.
+func Record(trial func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			lastFailure = fmt.Sprint(p)
+		}
+	}()
+	trial()
+}

@@ -34,8 +34,11 @@ func main() {
 		gapbench.FrameworkByName("GAP"), // the reference every ratio needs
 		textbook{},                      // the newcomer under evaluation
 	}
-	results := runner.RunSuite(frameworks, inputs,
+	results, err := runner.RunSuite(frameworks, inputs,
 		[]gapbench.Mode{gapbench.Baseline}, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, r := range results {
 		if !r.Verified {
 			log.Fatalf("%s %s on %s failed verification: %s", r.Framework, r.Kernel, r.Graph, r.Err)

@@ -66,6 +66,13 @@ type (
 	Result = core.Result
 	// Kernel names one of the six benchmark kernels.
 	Kernel = core.Kernel
+	// Status classifies a trial/cell outcome under the fault model
+	// (DESIGN.md §9).
+	Status = core.Status
+	// TrialRecord is the per-attempt fault log entry on a Result.
+	TrialRecord = core.TrialRecord
+	// RetryPolicy decides which trial failures get re-attempted.
+	RetryPolicy = core.RetryPolicy
 )
 
 // Rule sets.
@@ -83,6 +90,19 @@ const (
 	BC   = core.BC
 	TC   = core.TC
 )
+
+// The trial/cell statuses of the fault model, from best to worst.
+const (
+	StatusOK           = core.OK
+	StatusVerifyFailed = core.VerifyFailed
+	StatusPanicked     = core.Panicked
+	StatusTimedOut     = core.TimedOut
+	StatusSkipped      = core.Skipped
+)
+
+// ReadJournal loads the cells of a JSONL run journal (see
+// Runner.JournalPath); a missing file is an empty journal.
+func ReadJournal(path string) ([]Result, error) { return core.ReadJournal(path) }
 
 // GraphNames lists the five benchmark graphs in Table I order.
 var GraphNames = generate.Names

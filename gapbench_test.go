@@ -66,8 +66,11 @@ func TestFacadeRunnerAndTables(t *testing.T) {
 	r.BaselineWorkers = 2
 	r.OptimizedWorkers = 2
 	fws := gapbench.Frameworks()
-	results := r.RunSuite(fws, []*gapbench.Input{in},
+	results, err := r.RunSuite(fws, []*gapbench.Input{in},
 		[]gapbench.Mode{gapbench.Baseline}, []gapbench.Kernel{gapbench.BFS, gapbench.PR}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 2*len(fws) {
 		t.Fatalf("results = %d", len(results))
 	}

@@ -55,7 +55,12 @@ func runAllocInTimedRegion(pass *Pass) {
 	}
 	var findings []finding
 	for _, s := range prog.FuncsInPackage(pass.Pkg.Path) {
-		funcConcurrent := prog.ConcurrentFunc(s.ID)
+		// Timed-origin concurrency only: the harness's per-trial sandbox
+		// goroutine (internal/core) wraps whole kernel invocations for
+		// fault isolation and must not drag every kernel entry point onto
+		// the "hot path" — those setup allocations are deliberately timed
+		// and paid alike by every framework.
+		funcConcurrent := prog.ConcurrentFromTimed(s.ID)
 		// Direct allocation sites.
 		for _, a := range s.Allocs {
 			if a.What == "append" {
@@ -64,7 +69,7 @@ func runAllocInTimedRegion(pass *Pass) {
 			if a.What == "func literal" && a.immediate {
 				continue // per-phase/per-spawn closure, not per-element churn
 			}
-			lexical := prog.concurrentCtx(a.ctx)
+			lexical := prog.timedSpawnCtx(s, a.ctx)
 			if !lexical && !funcConcurrent {
 				continue
 			}
@@ -79,7 +84,7 @@ func runAllocInTimedRegion(pass *Pass) {
 		// (transitively) allocate. Same-package callees report at their own
 		// allocation sites via the funcConcurrent path above.
 		for _, c := range s.Calls {
-			lexical := prog.concurrentCtx(c.ctx)
+			lexical := prog.timedSpawnCtx(s, c.ctx)
 			if !lexical && !funcConcurrent {
 				continue
 			}

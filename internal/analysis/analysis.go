@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		AtomicPlainMix,
 		LockOrder,
 		AllocInTimedRegion,
+		SwallowedPanic,
 	}
 }
 

@@ -189,6 +189,14 @@ type Program struct {
 
 	spawnsGo   map[FuncID]bool // transitively spawns goroutines
 	concurrent map[FuncID]bool // may execute on a spawned goroutine
+	// concurrentTimed narrows concurrent to goroutines *originating in
+	// timed kernel packages* (a go statement or par-style spawner inside
+	// gap/par/...). The harness's trial-sandbox goroutine in internal/core
+	// wraps an entire kernel invocation for fault isolation; it is the
+	// timing context itself, not a parallel hot path, so rules about
+	// measured-loop overhead (alloc-in-timed-region) must not treat
+	// everything under it as spawned.
+	concurrentTimed map[FuncID]bool
 	transIO    map[FuncID]*ioFact
 	transAlloc map[FuncID]*allocFact
 	transLocks map[FuncID]map[VarKey]token.Pos
@@ -241,6 +249,7 @@ func BuildProgram(pkgs []*Package) *Program {
 		p.fixSpawnsGo()
 		p.fixConcurrent()
 	}
+	p.fixConcurrentTimed()
 	p.fixTransIO()
 	p.fixTransAlloc()
 	p.fixTransLocks()
@@ -930,6 +939,62 @@ func (p *Program) fixConcurrent() {
 // ConcurrentFunc reports whether the function may run on a spawned
 // goroutine.
 func (p *Program) ConcurrentFunc(id FuncID) bool { return p.concurrent[id] }
+
+// timedSpawnCtx reports whether facts collected under ctx may execute on a
+// goroutine whose spawn originates in a timed kernel package: a `go`
+// statement lexically inside a timed-package function (owner), or a closure
+// handed to a goroutine-spawning callee that itself lives in a timed
+// package (par.For and friends). A goroutine spawned by harness code —
+// internal/core's per-trial sandbox — does not qualify: it carries exactly
+// one kernel invocation and is the measurement context, not a worker.
+func (p *Program) timedSpawnCtx(owner *FuncSummary, ctx spawnCtx) bool {
+	if ctx.insideGo && timedPurityPackages[lastSegment(owner.PkgPath)] {
+		return true
+	}
+	for _, s := range ctx.spawners {
+		if !p.spawnsGo[s] {
+			continue
+		}
+		if sum := p.Funcs[s]; sum != nil && timedPurityPackages[lastSegment(sum.PkgPath)] {
+			return true
+		}
+	}
+	return false
+}
+
+// fixConcurrentTimed mirrors fixConcurrent but seeds only from spawn sites
+// that timedSpawnCtx accepts, then closes over the call graph. Run after the
+// joint spawnsGo/concurrent fixpoint so field-promoted spawners
+// (par.Machine's dispatch) are already visible.
+func (p *Program) fixConcurrentTimed() {
+	p.concurrentTimed = map[FuncID]bool{}
+	for _, id := range p.order {
+		owner := p.Funcs[id]
+		for _, c := range owner.Calls {
+			if p.timedSpawnCtx(owner, c.ctx) {
+				p.concurrentTimed[c.Callee] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range p.order {
+			if !p.concurrentTimed[id] {
+				continue
+			}
+			for _, c := range p.Funcs[id].Calls {
+				if !p.concurrentTimed[c.Callee] {
+					p.concurrentTimed[c.Callee] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// ConcurrentFromTimed reports whether the function may run on a goroutine
+// spawned by timed-package code (see timedSpawnCtx).
+func (p *Program) ConcurrentFromTimed(id FuncID) bool { return p.concurrentTimed[id] }
 
 // ConcurrentAccess reports whether the access may race: it is lexically
 // inside a spawning construct, or its enclosing function is reachable from

@@ -1,0 +1,156 @@
+package analysis
+
+import "testing"
+
+func TestSwallowedPanic(t *testing.T) {
+	checkRule(t, SwallowedPanic, []ruleCase{
+		{
+			name: "bare recover statement is flagged",
+			path: "gapbench/internal/core",
+			files: map[string]string{"bad.go": `package core
+
+func eat() {
+	defer func() {
+		recover()
+	}()
+}
+`},
+			want: []string{"bad.go:5: [swallowed-panic] recover() discards the panic value"},
+		},
+		{
+			name: "blank assignment is flagged",
+			path: "gapbench/internal/core",
+			files: map[string]string{"bad.go": `package core
+
+func eat() {
+	defer func() {
+		_ = recover()
+	}()
+}
+`},
+			want: []string{"recover() result assigned to _"},
+		},
+		{
+			name: "nil comparison only is flagged",
+			path: "gapbench/internal/core",
+			files: map[string]string{"bad.go": `package core
+
+var tripped bool
+
+func eat() {
+	defer func() {
+		if recover() != nil {
+			tripped = true
+		}
+	}()
+}
+`},
+			want: []string{"recover() result is only compared against nil and then discarded"},
+		},
+		{
+			name: "bound but only nil-checked is flagged",
+			path: "gapbench/internal/core",
+			files: map[string]string{"bad.go": `package core
+
+var tripped bool
+
+func eat() {
+	defer func() {
+		if p := recover(); p != nil {
+			tripped = true
+		}
+	}()
+}
+`},
+			want: []string{`recover() result "p" is only nil-checked, never recorded or rethrown`},
+		},
+		{
+			name: "recorded, rethrown, and returned values are clean",
+			path: "gapbench/internal/core",
+			files: map[string]string{"ok.go": `package core
+
+import "fmt"
+
+var lastPanic string
+
+func record() {
+	defer func() {
+		if p := recover(); p != nil {
+			lastPanic = fmt.Sprint(p)
+		}
+	}()
+}
+
+func rethrow() {
+	defer func() {
+		if p := recover(); p != nil {
+			panic(p)
+		}
+	}()
+}
+
+func capture() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return nil
+}
+
+// direct use as a call argument needs no binding at all.
+func direct() {
+	defer func() {
+		lastPanic = fmt.Sprint(recover())
+	}()
+}
+`},
+			want: nil,
+		},
+		{
+			name: "var declaration binding only nil-checked is flagged",
+			path: "gapbench/internal/core",
+			files: map[string]string{"bad.go": `package core
+
+var tripped bool
+
+func eat() {
+	defer func() {
+		var p = recover()
+		if p != nil {
+			tripped = true
+		}
+	}()
+}
+`},
+			want: []string{`recover() result "p" is only nil-checked`},
+		},
+		{
+			name: "ignore directive suppresses",
+			path: "gapbench/internal/core",
+			files: map[string]string{"ok.go": `package core
+
+func eat() {
+	defer func() {
+		//gapvet:ignore swallowed-panic -- fixture: intentional drop
+		recover()
+	}()
+}
+`},
+			want: nil,
+		},
+		{
+			name: "test files are out of scope",
+			path: "gapbench/internal/core",
+			files: map[string]string{"x_test.go": `package core
+
+func eat() {
+	defer func() {
+		recover()
+	}()
+}
+`},
+			want: nil,
+		},
+	})
+}

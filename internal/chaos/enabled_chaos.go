@@ -1,0 +1,6 @@
+//go:build chaos
+
+package chaos
+
+// Building with -tags=chaos arms fault injection; see chaos.go.
+func init() { enabled = true }

@@ -148,7 +148,10 @@ func TestRunSuiteAndSpeedups(t *testing.T) {
 	r := &core.Runner{Trials: 1, BaselineWorkers: 2, OptimizedWorkers: 2, Verify: true}
 	fws := []kernel.Framework{core.FrameworkByName("GAP"), core.FrameworkByName("GKC")}
 	var progressed int
-	results := r.RunSuite(fws, []*core.Input{in}, []kernel.Mode{kernel.Baseline}, []core.Kernel{core.BFS, core.TC}, func(core.Result) { progressed++ })
+	results, err := r.RunSuite(fws, []*core.Input{in}, []kernel.Mode{kernel.Baseline}, []core.Kernel{core.BFS, core.TC}, func(core.Result) { progressed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != 4 || progressed != 4 {
 		t.Fatalf("results = %d progressed = %d, want 4", len(results), progressed)
 	}

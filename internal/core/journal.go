@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"gapbench/internal/kernel"
+)
+
+// The run journal is a JSONL file: one completed cell Result per line,
+// appended as cells finish (never rewritten), so a run killed at cell N
+// leaves cells 0..N-1 on disk. A later run with Resume set replays those
+// cells and executes only the rest — the suite-level analogue of the
+// per-trial sandbox: losing a cell to a crash must not mean losing the
+// night's worth of cells before it.
+
+// AppendJournal appends one completed cell to the JSONL journal at path,
+// creating the file on first use.
+func AppendJournal(path string, res Result) error {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("core: marshal journal line: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: open journal: %w", err)
+	}
+	_, werr := f.Write(append(b, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("core: write journal: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("core: close journal: %w", cerr)
+	}
+	return nil
+}
+
+// ReadJournal loads every journaled cell from path. A missing file is an
+// empty journal (first run), not an error; a malformed line is an error with
+// its line number — a corrupt journal should be inspected, not silently
+// half-resumed.
+func ReadJournal(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: open journal: %w", err)
+	}
+	defer func() {
+		_ = f.Close() // read-only; nothing to report
+	}()
+	var out []Result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024) // stacks can push lines past the default token cap
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			return nil, fmt.Errorf("core: journal %s line %d: %w", path, line, err)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read journal: %w", err)
+	}
+	return out, nil
+}
+
+// CellID is the journal identity of a cell: the (framework, kernel, graph,
+// mode) coordinate, independent of timings and statuses.
+func CellID(framework string, k Kernel, graphName string, mode kernel.Mode) string {
+	return framework + "|" + string(k) + "|" + graphName + "|" + mode.String()
+}
+
+// CellID returns the Result's journal identity.
+func (r Result) CellID() string {
+	return CellID(r.Framework, r.Kernel, r.Graph, r.Mode)
+}

@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gapbench/internal/core"
+	"gapbench/internal/kernel"
+	"gapbench/internal/testutil"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	want := []core.Result{
+		{
+			Framework: "GAP", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Baseline,
+			Status: core.OK, Seconds: 0.25, AvgSeconds: 0.3, StdDev: 0.01,
+			Trials: 2, Verified: true,
+			TrialRecords: []core.TrialRecord{
+				{Trial: 0, Status: core.OK, Seconds: 0.25},
+				{Trial: 1, Status: core.OK, Seconds: 0.35},
+			},
+			Sync: core.SyncStats{Workers: 8, Regions: 12, Barriers: 90},
+		},
+		{
+			Framework: "GKC", Kernel: core.TC, Graph: "Road", Mode: kernel.Optimized,
+			Status: core.Panicked, Seconds: -1, Trials: 1, Retries: 1,
+			Err: "GKC TC on Road: panic: boom",
+			TrialRecords: []core.TrialRecord{
+				{Trial: 0, Attempt: 0, Status: core.Panicked, Err: "boom", Stack: "goroutine 9\nfault()"},
+				{Trial: 0, Attempt: 1, Status: core.Panicked, Err: "boom"},
+			},
+		},
+	}
+	for _, res := range want {
+		if err := core.AppendJournal(path, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := core.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Statuses and modes journal as text, not as bare ints, so the file is
+	// greppable during an overnight run.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantText := range []string{`"Panicked"`, `"Baseline"`, `"Optimized"`, `"OK"`} {
+		if !strings.Contains(string(raw), wantText) {
+			t.Errorf("journal missing readable token %s:\n%s", wantText, raw)
+		}
+	}
+}
+
+func TestReadJournalEdgeCases(t *testing.T) {
+	// Missing file: empty journal, no error.
+	got, err := core.ReadJournal(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || got != nil {
+		t.Fatalf("missing journal: got %v, %v", got, err)
+	}
+	// Corrupt line: error naming the line, not a silent half-resume.
+	path := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	if err := core.AppendJournal(path, core.Result{Framework: "GAP", Kernel: core.BFS, Graph: "Kron"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{half a cell\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.ReadJournal(path); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("corrupt journal error = %v, want line 2 named", err)
+	}
+}
+
+func TestCellID(t *testing.T) {
+	res := core.Result{Framework: "GAP", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Optimized}
+	if res.CellID() != core.CellID("GAP", core.BFS, "Kron", kernel.Optimized) {
+		t.Fatal("CellID mismatch")
+	}
+	if !strings.Contains(res.CellID(), "Optimized") {
+		t.Fatalf("CellID %q does not encode the mode", res.CellID())
+	}
+}
+
+// countingFramework delegates to the reference and counts kernel executions,
+// so the resume test can prove journaled cells are not re-run.
+type countingFramework struct {
+	kernel.Framework
+	runs *int
+}
+
+func (f countingFramework) TC(g *gGraph, opt kernel.Options) int64 {
+	*f.runs++
+	return f.Framework.TC(g, opt)
+}
+func (f countingFramework) BFS(g *gGraph, src gNode, opt kernel.Options) []gNode {
+	*f.runs++
+	return f.Framework.BFS(g, src, opt)
+}
+
+func TestRunSuiteJournalAndResume(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	in := loadSmallInput(t)
+	path := filepath.Join(t.TempDir(), "suite.jsonl")
+	runs := 0
+	fw := countingFramework{Framework: core.FrameworkByName("GAP"), runs: &runs}
+
+	// First run: BFS only, journaled.
+	r1 := &core.Runner{Trials: 1, BaselineWorkers: 2, OptimizedWorkers: 2, Verify: true, JournalPath: path}
+	res1, err := r1.RunSuite([]kernel.Framework{fw}, []*core.Input{in}, []kernel.Mode{kernel.Baseline}, []core.Kernel{core.BFS}, nil)
+	r1.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1) != 1 || res1[0].Status != core.OK || res1[0].Resumed {
+		t.Fatalf("first run: %+v", res1)
+	}
+	if runs != 1 {
+		t.Fatalf("first run executed %d kernels, want 1", runs)
+	}
+
+	// Second run: BFS + TC with resume. BFS replays from the journal; only
+	// TC actually executes.
+	runs = 0
+	r2 := &core.Runner{Trials: 1, BaselineWorkers: 2, OptimizedWorkers: 2, Verify: true, JournalPath: path, Resume: true}
+	res2, err := r2.RunSuite([]kernel.Framework{fw}, []*core.Input{in}, []kernel.Mode{kernel.Baseline}, []core.Kernel{core.BFS, core.TC}, nil)
+	r2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != 2 {
+		t.Fatalf("second run results: %+v", res2)
+	}
+	var sawResumedBFS, sawFreshTC bool
+	for _, res := range res2 {
+		switch res.Kernel {
+		case core.BFS:
+			sawResumedBFS = res.Resumed && res.Status == core.OK
+		case core.TC:
+			sawFreshTC = !res.Resumed && res.Status == core.OK
+		}
+	}
+	if !sawResumedBFS || !sawFreshTC {
+		t.Fatalf("resume semantics wrong: %+v", res2)
+	}
+	if runs != 1 {
+		t.Fatalf("second run executed %d kernels, want 1 (TC only)", runs)
+	}
+
+	// Third run: everything journaled now; nothing executes.
+	runs = 0
+	r3 := &core.Runner{Trials: 1, BaselineWorkers: 2, OptimizedWorkers: 2, Verify: true, JournalPath: path, Resume: true}
+	res3, err := r3.RunSuite([]kernel.Framework{fw}, []*core.Input{in}, []kernel.Mode{kernel.Baseline}, []core.Kernel{core.BFS, core.TC}, nil)
+	r3.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 0 {
+		t.Fatalf("fully journaled run executed %d kernels, want 0", runs)
+	}
+	for _, res := range res3 {
+		if !res.Resumed {
+			t.Errorf("cell %s not resumed", res.CellID())
+		}
+	}
+}

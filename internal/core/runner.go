@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"gapbench/internal/kernel"
@@ -42,6 +44,25 @@ func syncStatsFrom(s par.Stats) SyncStats {
 	}
 }
 
+// TrialRecord is the outcome of one sandboxed trial attempt. A retried trial
+// leaves one record per attempt, so transient failures (Panicked on attempt
+// 0, OK on attempt 1) stay distinguishable from deterministic ones in the
+// journal.
+type TrialRecord struct {
+	// Trial is the trial index within the cell; Attempt is 0 for the first
+	// run and counts up through retries.
+	Trial   int
+	Attempt int
+	Status  Status
+	// Seconds is the attempt's kernel wall time (meaningful for OK attempts;
+	// zero when the attempt panicked before the kernel returned).
+	Seconds float64
+	// Err carries the panic value, oracle rejection, or timeout note.
+	Err string `json:",omitempty"`
+	// Stack is the trimmed goroutine stack for Panicked attempts.
+	Stack string `json:",omitempty"`
+}
+
 // Result is one cell of the evaluation: a (framework, kernel, graph, mode)
 // combination with its best trial time and verification status.
 type Result struct {
@@ -49,24 +70,76 @@ type Result struct {
 	Kernel    Kernel
 	Graph     string
 	Mode      kernel.Mode
-	// Seconds is the best (minimum) per-trial time, GAP's reporting
-	// convention for the headline tables.
+	// Status is the cell rollup: OK when every trial's final attempt was OK,
+	// otherwise the first failing trial's final status. The zero value is OK,
+	// so pre-fault-model result literals keep their meaning.
+	Status Status
+	// Seconds is the best (minimum) per-trial time over OK trials, GAP's
+	// reporting convention for the headline tables; -1 when no trial
+	// finished OK.
 	Seconds float64
-	// AvgSeconds is the mean over trials; StdDev is the per-trial standard
+	// AvgSeconds is the mean over OK trials; StdDev is their standard
 	// deviation. §VI notes "timings for algorithms on Road were more
 	// unstable compared to other cases" — the spread is part of the result.
 	AvgSeconds float64
 	StdDev     float64
 	Trials     int
-	// Verified reports whether every trial's output passed the oracle
-	// check; Err carries the first failure. Per §VI's call for "more
-	// formally specified verification and validation procedures", an
-	// unverified cell is reported, never silently kept.
+	// Retries counts extra attempts spent on transient failures across the
+	// cell's trials.
+	Retries int `json:",omitempty"`
+	// Resumed marks a cell replayed from a journal rather than re-run.
+	Resumed bool `json:",omitempty"`
+	// Verified reports whether the cell finished OK (every trial returned in
+	// time and, when verification is on, passed the oracle); Err carries the
+	// first failure. Per §VI's call for "more formally specified verification
+	// and validation procedures", a failed cell is reported, never silently
+	// kept.
 	Verified bool
-	Err      string
+	Err      string `json:",omitempty"`
+	// TrialRecords is the per-attempt fault log (empty only for resumed
+	// cells journaled by older builds).
+	TrialRecords []TrialRecord `json:",omitempty"`
 	// Sync is the cell's synchronization structure, accumulated over the
-	// timed trials from the mode's machine (reset per cell).
+	// timed trials from the mode's machine (reset per cell; after a
+	// mid-cell machine abandonment it covers the replacement machine's
+	// trials only).
 	Sync SyncStats
+}
+
+// RetryPolicy decides which trial failures are worth a second attempt.
+type RetryPolicy struct {
+	// MaxRetries is the number of extra attempts per trial.
+	MaxRetries int
+	// RetryOn reports whether a status should be treated as transient. Nil
+	// retries nothing.
+	RetryOn func(Status) bool
+}
+
+// DefaultRetryPolicy retries Panicked and TimedOut trials once: those can be
+// transient (a race that fired, a scheduling hiccup against a tight
+// deadline), whereas VerifyFailed is a wrong answer and will be wrong again.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{
+		MaxRetries: 1,
+		RetryOn:    func(s Status) bool { return s == Panicked || s == TimedOut },
+	}
+}
+
+func (p *RetryPolicy) maxRetries() int {
+	if p == nil {
+		return DefaultRetryPolicy().MaxRetries
+	}
+	return p.MaxRetries
+}
+
+func (p *RetryPolicy) shouldRetry(s Status) bool {
+	if p == nil {
+		return s == Panicked || s == TimedOut
+	}
+	if p.RetryOn == nil {
+		return false
+	}
+	return p.RetryOn(s)
 }
 
 // Runner executes benchmark cells under the paper's two rule sets.
@@ -88,11 +161,32 @@ type Runner struct {
 	// Verify enables oracle checking of every trial (untimed).
 	Verify bool
 
+	// Timeout is the per-trial deadline; zero means none. When it passes,
+	// the trial's cancellation token fires and the kernel is expected to
+	// drain cooperatively (DESIGN.md §9).
+	Timeout time.Duration
+	// Grace is how long past a fired deadline the runner waits for a kernel
+	// to notice the token before abandoning its machine (default 2s).
+	Grace time.Duration
+	// Retry decides which trial failures get re-attempted; nil means the
+	// default policy (one retry for Panicked/TimedOut).
+	Retry *RetryPolicy
+	// JournalPath, when set, makes RunSuite append every completed cell to a
+	// JSONL journal; with Resume also set, cells already journaled are
+	// replayed instead of re-run.
+	JournalPath string
+	Resume      bool
+
 	// machines holds one persistent worker pool per mode, built lazily at
 	// the mode's worker count (the Baseline 8-analogue vs the Optimized
 	// hyperthread count) and reused across every cell of that mode, exactly
 	// like the paper pins each rule set's thread count for a whole data set.
 	machines map[kernel.Mode]*par.Machine
+	// abandoned holds machines dropped mid-trial because a kernel ignored
+	// cancellation past the grace period. Their workers may still be running
+	// the stuck kernel, so Close must not join them; ReapAbandoned does,
+	// for callers that know the stuck kernels eventually return.
+	abandoned []*par.Machine
 }
 
 // NewRunner returns a Runner with the defaults described on the fields.
@@ -112,7 +206,8 @@ func NewRunner() *Runner {
 }
 
 // machine returns the persistent pool for the given mode, building it on
-// first use at that mode's worker count.
+// first use at that mode's worker count (and rebuilding it after an
+// abandonment dropped the previous one).
 func (r *Runner) machine(mode kernel.Mode) *par.Machine {
 	if r.machines == nil {
 		r.machines = make(map[kernel.Mode]*par.Machine)
@@ -129,13 +224,46 @@ func (r *Runner) machine(mode kernel.Mode) *par.Machine {
 	return m
 }
 
-// Close parks the Runner's machines, joining every pool worker. Safe to call
-// more than once; a closed Runner still runs cells (regions degrade to serial
+// abandonMachine removes a poisoned machine from service: the next cell (or
+// retry) of the mode lazily builds a fresh pool, and the stuck one is parked
+// on the abandoned list so Close never blocks on it.
+func (r *Runner) abandonMachine(mode kernel.Mode, m *par.Machine) {
+	if r.machines[mode] == m {
+		delete(r.machines, mode)
+	}
+	r.abandoned = append(r.abandoned, m)
+}
+
+// Abandoned reports how many machines have been abandoned to stuck kernels
+// over the Runner's lifetime.
+func (r *Runner) Abandoned() int { return len(r.abandoned) }
+
+// ReapAbandoned joins the workers of every abandoned machine and clears the
+// list. It blocks until the stuck kernels actually return, so it is only
+// safe when they eventually do (tests use it for goroutine accounting);
+// production callers normally leave abandoned machines to process exit.
+func (r *Runner) ReapAbandoned() {
+	for _, m := range r.abandoned {
+		m.Close()
+	}
+	r.abandoned = nil
+}
+
+// Close parks the Runner's live machines, joining every pool worker (but not
+// workers of abandoned machines — see ReapAbandoned). Safe to call more than
+// once; a closed Runner still runs cells (regions degrade to serial
 // execution on the calling goroutine).
 func (r *Runner) Close() {
 	for _, m := range r.machines {
 		m.Close()
 	}
+}
+
+func (r *Runner) grace() time.Duration {
+	if r.Grace > 0 {
+		return r.Grace
+	}
+	return 2 * time.Second
 }
 
 // options assembles the kernel.Options for one cell under the mode's rules.
@@ -157,106 +285,244 @@ func (r *Runner) options(in *Input, mode kernel.Mode) kernel.Options {
 	return opt
 }
 
-// RunCell times one (framework, kernel, input, mode) cell.
-func (r *Runner) RunCell(f kernel.Framework, k Kernel, in *Input, mode kernel.Mode) Result {
-	res := Result{Framework: f.Name(), Kernel: k, Graph: in.Spec.Name, Mode: mode, Verified: true}
-	if p, ok := f.(kernel.Preparer); ok {
-		p.Prepare(in.Graph, in.Undirected) // untimed load-time conversion
+// trialOutcome is the raw result of one sandboxed attempt.
+type trialOutcome struct {
+	status  Status
+	seconds float64
+	err     string
+	stack   string
+}
+
+// trimStack keeps the head of a panic stack (the frames that identify the
+// fault) and drops the scheduler noise below.
+func trimStack(stack []byte) string {
+	lines := strings.Split(strings.TrimSpace(string(stack)), "\n")
+	const maxLines = 24
+	if len(lines) > maxLines {
+		lines = append(lines[:maxLines], "... (stack trimmed)")
 	}
+	return strings.Join(lines, "\n")
+}
+
+// checkOracle runs an oracle check under its own recover: a panic while
+// inspecting garbage kernel output is the kernel's failure, reported as a
+// verification error rather than crashing the harness.
+func checkOracle(check func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("oracle panicked on kernel output: %v", p)
+		}
+	}()
+	return check()
+}
+
+// runAttempt executes one sandboxed trial attempt: the kernel call runs on
+// its own goroutine under recover with a per-attempt cancellation token
+// installed on both the kernel options and the mode's machine. If a deadline
+// is set and the kernel ignores the fired token past the grace period, the
+// machine is abandoned and the attempt reports TimedOut — the runner never
+// blocks on a stuck kernel.
+func (r *Runner) runAttempt(f kernel.Framework, k Kernel, in *Input, mode kernel.Mode, trial int) trialOutcome {
+	opt := r.options(in, mode)
+	m := opt.Machine
+	var tok *par.CancelToken
+	if r.Timeout > 0 {
+		tok = par.NewDeadlineToken(r.Timeout)
+	} else {
+		tok = par.NewCancelToken()
+	}
+	opt.Cancel = tok
+	m.SetCancel(tok)
+
+	g := in.Graph
+	cellName := fmt.Sprintf("%s %s on %s", f.Name(), k, in.Spec.Name)
+	done := make(chan trialOutcome, 1) // buffered: an abandoned sandbox still exits
+	go func() {
+		out := trialOutcome{status: OK}
+		defer func() {
+			if p := recover(); p != nil {
+				out.status = Panicked
+				out.err = fmt.Sprintf("%s: panic: %v", cellName, p)
+				out.stack = trimStack(debug.Stack())
+			}
+			done <- out
+		}()
+		var check func() error
+		start := time.Now()
+		switch k {
+		case BFS:
+			src := in.Sources[trial%len(in.Sources)]
+			parent := f.BFS(g, src, opt)
+			check = func() error { return verify.CheckBFS(g, src, parent) }
+		case SSSP:
+			src := in.Sources[trial%len(in.Sources)]
+			dist := f.SSSP(g, src, opt)
+			check = func() error { return verify.CheckSSSP(g, src, dist) }
+		case PR:
+			ranks := f.PR(g, opt)
+			check = func() error { return verify.CheckPR(g, ranks) }
+		case CC:
+			labels := f.CC(g, opt)
+			check = func() error { return verify.CheckCC(g, labels) }
+		case BC:
+			roots := in.BCRoots[trial%len(in.BCRoots)]
+			scores := f.BC(g, roots, opt)
+			check = func() error { return verify.CheckBC(g, roots, scores) }
+		case TC:
+			count := f.TC(g, opt)
+			check = func() error { return verify.CheckTC(in.Undirected, count) }
+		}
+		out.seconds = time.Since(start).Seconds()
+		if tok.Cancelled() {
+			// The kernel returned, but only because the deadline fired; its
+			// partial output is discarded unverified.
+			out.status = TimedOut
+			out.err = fmt.Sprintf("%s: deadline (%v) exceeded", cellName, r.Timeout)
+			return
+		}
+		if r.Verify {
+			if err := checkOracle(check); err != nil {
+				out.status = VerifyFailed
+				out.err = fmt.Sprintf("%s: %v", cellName, err)
+			}
+		}
+	}()
+
+	if r.Timeout <= 0 {
+		out := <-done
+		m.SetCancel(nil)
+		return out
+	}
+	select {
+	case out := <-done:
+		m.SetCancel(nil)
+		return out
+	case <-time.After(r.Timeout):
+		tok.Cancel() // idempotent with the deadline; makes the intent explicit
+		select {
+		case out := <-done:
+			m.SetCancel(nil)
+			return out
+		case <-time.After(r.grace()):
+			// The kernel is ignoring the token. Abandon its machine — the
+			// sandbox goroutine and any workers stuck in the kernel keep the
+			// old pool; the next attempt/cell gets a fresh one. The token
+			// stays installed so the stray kernel's future regions still
+			// drain fast if it ever starts polling.
+			r.abandonMachine(mode, m)
+			return trialOutcome{
+				status: TimedOut,
+				err: fmt.Sprintf("%s: kernel ignored cancellation for %v past the %v deadline; machine abandoned",
+					cellName, r.grace(), r.Timeout),
+			}
+		}
+	}
+}
+
+// prepare runs a framework's untimed load-time conversion under recover, so
+// a panicking Prepare fails its cell instead of the suite.
+func prepare(f kernel.Framework, in *Input) (out trialOutcome) {
+	out = trialOutcome{status: OK}
+	p, ok := f.(kernel.Preparer)
+	if !ok {
+		return out
+	}
+	defer func() {
+		if pv := recover(); pv != nil {
+			out.status = Panicked
+			out.err = fmt.Sprintf("%s: panic in Prepare(%s): %v", f.Name(), in.Spec.Name, pv)
+			out.stack = trimStack(debug.Stack())
+		}
+	}()
+	p.Prepare(in.Graph, in.Undirected)
+	return out
+}
+
+// RunCell times one (framework, kernel, input, mode) cell. Every trial is
+// sandboxed (DESIGN.md §9): panics, deadline overruns, and oracle rejections
+// become per-trial statuses on the Result, never harness crashes.
+func (r *Runner) RunCell(f kernel.Framework, k Kernel, in *Input, mode kernel.Mode) Result {
+	res := Result{Framework: f.Name(), Kernel: k, Graph: in.Spec.Name, Mode: mode, Verified: true, Seconds: -1}
 	trials := r.Trials
 	if trials < 1 {
 		trials = 1
 	}
-	opt := r.options(in, mode)
-	g := in.Graph
+	res.Trials = trials
+
+	known := false
+	for _, kk := range Kernels {
+		if k == kk {
+			known = true
+			break
+		}
+	}
+	if !known {
+		res.Status = Skipped
+		res.Verified = false
+		res.Err = fmt.Sprintf("unknown kernel %q", k)
+		return res
+	}
+
+	if out := prepare(f, in); out.status != OK {
+		res.Status = out.status
+		res.Verified = false
+		res.Err = out.err
+		for t := 0; t < trials; t++ {
+			res.TrialRecords = append(res.TrialRecords, TrialRecord{Trial: t, Status: Skipped})
+		}
+		return res
+	}
+
 	// Per-cell stats window: the counters accumulated during this cell's
 	// trials become the cell's SyncStats block.
-	opt.Machine.ResetStats()
+	r.machine(mode).ResetStats()
 
-	best := -1.0
 	var total float64
 	var samples []float64
 	record := func(sec float64) {
-		if best < 0 || sec < best {
-			best = sec
+		if res.Seconds < 0 || sec < res.Seconds {
+			res.Seconds = sec
 		}
 		total += sec
 		samples = append(samples, sec)
 	}
-	fail := func(err error) {
-		if res.Verified {
-			res.Verified = false
-			res.Err = err.Error()
+
+	failed := false
+	for t := 0; t < trials; t++ {
+		if failed {
+			// An earlier trial failed past retries; the cell's fate is
+			// sealed, so don't burn the remaining trial budget on it.
+			res.TrialRecords = append(res.TrialRecords, TrialRecord{Trial: t, Status: Skipped})
+			continue
+		}
+		var out trialOutcome
+		for attempt := 0; ; attempt++ {
+			out = r.runAttempt(f, k, in, mode, t)
+			res.TrialRecords = append(res.TrialRecords, TrialRecord{
+				Trial: t, Attempt: attempt,
+				Status: out.status, Seconds: out.seconds,
+				Err: out.err, Stack: out.stack,
+			})
+			if out.status == OK || attempt >= r.Retry.maxRetries() || !r.Retry.shouldRetry(out.status) {
+				break
+			}
+			res.Retries++
+		}
+		if out.status == OK {
+			record(out.seconds)
+		} else {
+			failed = true
+			if res.Status == OK {
+				res.Status = out.status
+				res.Verified = false
+				res.Err = out.err
+			}
 		}
 	}
 
-	for t := 0; t < trials; t++ {
-		switch k {
-		case BFS:
-			src := in.Sources[t%len(in.Sources)]
-			start := time.Now()
-			parent := f.BFS(g, src, opt)
-			record(time.Since(start).Seconds())
-			if r.Verify {
-				if err := verify.CheckBFS(g, src, parent); err != nil {
-					fail(fmt.Errorf("%s BFS on %s: %w", f.Name(), in.Spec.Name, err))
-				}
-			}
-		case SSSP:
-			src := in.Sources[t%len(in.Sources)]
-			start := time.Now()
-			dist := f.SSSP(g, src, opt)
-			record(time.Since(start).Seconds())
-			if r.Verify {
-				if err := verify.CheckSSSP(g, src, dist); err != nil {
-					fail(fmt.Errorf("%s SSSP on %s: %w", f.Name(), in.Spec.Name, err))
-				}
-			}
-		case PR:
-			start := time.Now()
-			ranks := f.PR(g, opt)
-			record(time.Since(start).Seconds())
-			if r.Verify {
-				if err := verify.CheckPR(g, ranks); err != nil {
-					fail(fmt.Errorf("%s PR on %s: %w", f.Name(), in.Spec.Name, err))
-				}
-			}
-		case CC:
-			start := time.Now()
-			labels := f.CC(g, opt)
-			record(time.Since(start).Seconds())
-			if r.Verify {
-				if err := verify.CheckCC(g, labels); err != nil {
-					fail(fmt.Errorf("%s CC on %s: %w", f.Name(), in.Spec.Name, err))
-				}
-			}
-		case BC:
-			roots := in.BCRoots[t%len(in.BCRoots)]
-			start := time.Now()
-			scores := f.BC(g, roots, opt)
-			record(time.Since(start).Seconds())
-			if r.Verify {
-				if err := verify.CheckBC(g, roots, scores); err != nil {
-					fail(fmt.Errorf("%s BC on %s: %w", f.Name(), in.Spec.Name, err))
-				}
-			}
-		case TC:
-			start := time.Now()
-			count := f.TC(g, opt)
-			record(time.Since(start).Seconds())
-			if r.Verify {
-				if err := verify.CheckTC(in.Undirected, count); err != nil {
-					fail(fmt.Errorf("%s TC on %s: %w", f.Name(), in.Spec.Name, err))
-				}
-			}
-		default:
-			res.Verified = false
-			res.Err = fmt.Sprintf("unknown kernel %q", k)
-			return res
-		}
+	if len(samples) > 0 {
+		res.AvgSeconds = total / float64(len(samples))
 	}
-	res.Seconds = best
-	res.AvgSeconds = total / float64(trials)
 	if len(samples) > 1 {
 		var sq float64
 		for _, s := range samples {
@@ -265,23 +531,51 @@ func (r *Runner) RunCell(f kernel.Framework, k Kernel, in *Input, mode kernel.Mo
 		}
 		res.StdDev = math.Sqrt(sq / float64(len(samples)-1))
 	}
-	res.Trials = trials
-	res.Sync = syncStatsFrom(opt.Machine.Stats())
+	res.Sync = syncStatsFrom(r.machine(mode).Stats())
 	return res
 }
 
 // RunSuite runs every (framework, kernel, mode) cell over the inputs,
-// reporting progress through report (which may be nil).
-func (r *Runner) RunSuite(frameworks []kernel.Framework, inputs []*Input, modes []kernel.Mode, kernels []Kernel, progress func(Result)) []Result {
+// reporting progress through progress (which may be nil). With JournalPath
+// set, each completed cell is appended to the JSONL journal as it finishes;
+// with Resume also set, cells already journaled are replayed (marked
+// Resumed) instead of re-run, so an interrupted run picks up where it died.
+// The error return concerns the harness only (journal I/O); cell-level
+// failures are statuses on the Results, never errors.
+func (r *Runner) RunSuite(frameworks []kernel.Framework, inputs []*Input, modes []kernel.Mode, kernels []Kernel, progress func(Result)) ([]Result, error) {
 	if len(kernels) == 0 {
 		kernels = Kernels
+	}
+	var journaled map[string]Result
+	if r.Resume && r.JournalPath != "" {
+		prior, err := ReadJournal(r.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		journaled = make(map[string]Result, len(prior))
+		for _, res := range prior {
+			journaled[res.CellID()] = res
+		}
 	}
 	var results []Result
 	for _, mode := range modes {
 		for _, in := range inputs {
 			for _, k := range kernels {
 				for _, f := range frameworks {
+					if prior, ok := journaled[CellID(f.Name(), k, in.Spec.Name, mode)]; ok {
+						prior.Resumed = true
+						results = append(results, prior)
+						if progress != nil {
+							progress(prior)
+						}
+						continue
+					}
 					res := r.RunCell(f, k, in, mode)
+					if r.JournalPath != "" {
+						if err := AppendJournal(r.JournalPath, res); err != nil {
+							return results, fmt.Errorf("core: journal: %w", err)
+						}
+					}
 					results = append(results, res)
 					if progress != nil {
 						progress(res)
@@ -290,7 +584,7 @@ func (r *Runner) RunSuite(frameworks []kernel.Framework, inputs []*Input, modes 
 			}
 		}
 	}
-	return results
+	return results, nil
 }
 
 // PrepareViews warms each graph's per-framework internal representations so
@@ -310,11 +604,13 @@ func PrepareViews(frameworks []kernel.Framework, inputs []*Input) {
 
 // SpeedupVsReference computes Table V: the ratio reference-time /
 // framework-time for every non-reference cell, keyed by (framework, kernel,
-// graph, mode). A ratio of 1.0 means parity, >1 faster than GAP.
+// graph, mode). A ratio of 1.0 means parity, >1 faster than GAP. Cells that
+// did not finish OK — on either side of the ratio — contribute nothing: a
+// crashed or timed-out cell has no time, not a time of zero.
 func SpeedupVsReference(results []Result) map[string]float64 {
 	ref := map[string]float64{}
 	for _, res := range results {
-		if res.Framework == ReferenceName {
+		if res.Framework == ReferenceName && res.Status == OK && res.Verified && res.Seconds > 0 {
 			ref[cellKey(string(res.Kernel), res.Graph, res.Mode)] = res.Seconds
 		}
 	}
@@ -324,7 +620,7 @@ func SpeedupVsReference(results []Result) map[string]float64 {
 			continue
 		}
 		base, ok := ref[cellKey(string(res.Kernel), res.Graph, res.Mode)]
-		if !ok || res.Seconds <= 0 {
+		if !ok || res.Status != OK || !res.Verified || res.Seconds <= 0 {
 			continue
 		}
 		out[res.Framework+"|"+cellKey(string(res.Kernel), res.Graph, res.Mode)] = base / res.Seconds

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Status classifies the outcome of one trial attempt (and, rolled up, of one
+// cell). The taxonomy is the heart of the fault model (DESIGN.md §9): a
+// failing framework must never take the suite down with it — it gets a
+// status, the suite moves on.
+type Status int
+
+// The trial/cell statuses, from best to worst.
+const (
+	// OK: the kernel returned, the deadline (if any) had not passed, and the
+	// oracle check (if enabled) accepted the output.
+	OK Status = iota
+	// VerifyFailed: the kernel returned in time but the oracle rejected the
+	// output (or panicked while inspecting it — garbage output is the
+	// kernel's fault, not the oracle's). Deterministic: not retried by the
+	// default policy.
+	VerifyFailed
+	// Panicked: the kernel (or its Prepare) panicked. The panic value and a
+	// trimmed stack are recorded on the trial. Possibly transient (a data
+	// race that fired): retried once by the default policy.
+	Panicked
+	// TimedOut: the per-cell deadline passed. Either the kernel noticed the
+	// cancellation token and returned (its partial output is discarded), or
+	// it ignored the token past the grace period and its machine was
+	// abandoned. Possibly transient: retried once by the default policy.
+	TimedOut
+	// Skipped: the trial was never attempted — an earlier trial in the cell
+	// already failed deterministically, the kernel name was unknown, or
+	// Prepare failed for the whole cell.
+	Skipped
+)
+
+var statusNames = [...]string{"OK", "VerifyFailed", "Panicked", "TimedOut", "Skipped"}
+
+func (s Status) String() string {
+	if s < 0 || int(s) >= len(statusNames) {
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+	return statusNames[s]
+}
+
+// MarshalText renders the status by name so journal lines and CSV cells stay
+// human-readable.
+func (s Status) MarshalText() ([]byte, error) {
+	if s < 0 || int(s) >= len(statusNames) {
+		return nil, fmt.Errorf("core: unknown status %d", int(s))
+	}
+	return []byte(statusNames[s]), nil
+}
+
+// UnmarshalText parses a status name (journal resume path).
+func (s *Status) UnmarshalText(b []byte) error {
+	for i, name := range statusNames {
+		if string(b) == name {
+			*s = Status(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown status %q", b)
+}

@@ -66,6 +66,11 @@ func ForEachAsync(exec *par.Machine, workers int, initial []graph.NodeID, op fun
 	var pending atomic.Int64
 	pending.Store(int64(len(initial)))
 
+	// Cooperative cancellation: every worker checks the machine's token at
+	// its chunk-claim boundary. One worker bailing early leaves pending > 0
+	// forever, so the token is the *only* way the others exit — each one
+	// observes it either at the loop top or in the idle branch.
+	tok := exec.CancelToken()
 	exec.ForWorker(workers, workers, func(w, _, _ int) {
 		own := deques[w]
 		ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
@@ -75,6 +80,9 @@ func ForEachAsync(exec *par.Machine, workers int, initial []graph.NodeID, op fun
 		rng := uint64(w)*0x9e3779b97f4a7c15 + 0x853c49e6748fea9b
 		idle := 0
 		for {
+			if tok.Cancelled() {
+				break // cancelled: abandon remaining work, results are discarded
+			}
 			// Own partial chunk first (locality), then own deque, then
 			// steal from a random victim.
 			c := ctx.local
@@ -123,8 +131,9 @@ func ForEachRounds(exec *par.Machine, workers int, initial []graph.NodeID, op fu
 	if workers < 1 {
 		workers = 1
 	}
+	tok := exec.CancelToken()
 	frontier := fillBag(initial)
-	for !frontier.empty() {
+	for !frontier.empty() && !tok.Cancelled() {
 		next := &bag{}
 		var pending atomic.Int64 // unused for termination here, but Ctx needs it
 		exec.ForWorker(workers, workers, func(_, _, _ int) {
@@ -133,6 +142,9 @@ func ForEachRounds(exec *par.Machine, workers int, initial []graph.NodeID, op fu
 			//gapvet:ignore alloc-in-timed-region -- one spill closure per worker slot: per-worker setup, not per-element churn
 			ctx.spill = func(c *chunk) { next.put(c) }
 			for {
+				if tok.Cancelled() {
+					break
+				}
 				c := frontier.get()
 				if c == nil {
 					break
@@ -263,10 +275,16 @@ func ForEachOrdered(exec *par.Machine, workers int, initial []graph.NodeID, init
 	}
 	seedCtx.flushAll()
 
+	// Same cancellation contract as ForEachAsync: the token is the only exit
+	// once any worker abandons work with pending > 0.
+	tok := exec.CancelToken()
 	exec.ForWorker(workers, workers, func(_, _, _ int) {
 		ctx := &PCtx{exec: o, local: map[int]*chunk{}}
 		idle := 0
 		for {
+			if tok.Cancelled() {
+				break
+			}
 			c := ctx.popLowestLocal()
 			if c == nil {
 				c = o.next()

@@ -42,6 +42,9 @@ func pagerankGS(exec *par.Machine, g *graph.Graph, workers int) []float64 {
 	}
 
 	for it := 0; it < kernel.PRMaxIters; it++ {
+		if exec.Interrupted() {
+			return ranks // partial scores; the harness discards cancelled trials
+		}
 		// Dangling mass from the current scores; staleness within a sweep
 		// vanishes at the fixed point.
 		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {

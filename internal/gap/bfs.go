@@ -40,6 +40,9 @@ func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID 
 	scoutCount := g.OutDegree(src)
 
 	for !queue.Empty() {
+		if opt.Cancelled() {
+			return parent // partial tree; the harness discards cancelled trials
+		}
 		if scoutCount > edgesToCheck/dobfsAlpha {
 			// Switch to pull: the frontier is touching a large fraction of
 			// the remaining edges, so scanning unvisited vertices' in-edges
@@ -51,6 +54,9 @@ func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID 
 			awake := queue.Size()
 			queue.Reset()
 			for {
+				if opt.Cancelled() {
+					return parent
+				}
 				prevAwake := awake
 				curr.Reset()
 				awake = buStep(exec, g, parent, front, curr, workers)

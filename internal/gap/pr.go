@@ -30,6 +30,9 @@ func PageRank(g *graph.Graph, opt kernel.Options) []float64 {
 	}
 
 	for it := 0; it < kernel.PRMaxIters; it++ {
+		if opt.Cancelled() {
+			return ranks // partial scores; the harness discards cancelled trials
+		}
 		// Scatter phase: precompute each vertex's per-edge contribution and
 		// sum dangling mass.
 		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
@@ -93,6 +96,9 @@ func PageRankGS(g *graph.Graph, opt kernel.Options) []float64 {
 		}
 	}
 	for it := 0; it < kernel.PRMaxIters; it++ {
+		if opt.Cancelled() {
+			return ranks
+		}
 		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {

@@ -68,6 +68,9 @@ func DeltaStep(g *graph.Graph, src graph.NodeID, delta kernel.Dist, opt kernel.O
 	}
 
 	for {
+		if opt.Cancelled() {
+			return dist // partial distances; the harness discards cancelled trials
+		}
 		lowBound := kernel.Dist(bucket) * delta
 		highBound := lowBound + delta
 
@@ -209,11 +212,17 @@ func DeltaStepLightHeavy(g *graph.Graph, src graph.NodeID, delta kernel.Dist, op
 	var settled []graph.NodeID // bucket members settled this bucket (for heavy phase)
 	bucket := 0
 	for {
+		if opt.Cancelled() {
+			return dist
+		}
 		lo := kernel.Dist(bucket) * delta
 		hi := lo + delta
 		settled = settled[:0]
 		// Light phase: iterate to a fixed point within the bucket.
 		for len(frontier) > 0 {
+			if opt.Cancelled() {
+				return dist
+			}
 			var mu sync.Mutex
 			work := frontier
 			exec.ForWorker(len(work), workers, func(w, i0, i1 int) {

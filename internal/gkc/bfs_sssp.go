@@ -33,6 +33,9 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) []gra
 	const alpha, beta = 15, 18
 
 	for len(frontier) > 0 {
+		if exec.Interrupted() {
+			return parent // partial; the harness discards cancelled trials
+		}
 		switch {
 		case scout > edgesToCheck/alpha:
 			// Pull phase.
@@ -153,6 +156,9 @@ func sssp(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.Dist
 	frontier := []graph.NodeID{src}
 	bucket := 0
 	for {
+		if exec.Interrupted() {
+			return dist // partial; the harness discards cancelled trials
+		}
 		lo := kernel.Dist(bucket) * delta
 		hi := lo + delta
 		// Every bucket pass is a full fork-join over the frontier — GKC has

@@ -29,6 +29,9 @@ func pagerank(exec *par.Machine, g *graph.Graph, workers int) []float64 {
 		}
 	}
 	for it := 0; it < kernel.PRMaxIters; it++ {
+		if exec.Interrupted() {
+			return ranks // partial; the harness discards cancelled trials
+		}
 		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
@@ -90,6 +93,9 @@ func hybridSV(exec *par.Machine, g *graph.Graph, workers int) []graph.NodeID {
 		return comp
 	}
 	for {
+		if exec.Interrupted() {
+			return comp
+		}
 		// Hooking sweep: linear scan of the out-CSR (and in-CSR for directed
 		// graphs) — sequential memory traffic, the "SIMD-friendly" layout.
 		changed := hookSweep(exec, g, comp, workers, false)
@@ -184,6 +190,9 @@ func brandes(exec *par.Machine, g *graph.Graph, sources []graph.NodeID, workers 
 		levels := [][]graph.NodeID{{src}}
 		current := levels[0]
 		for len(current) > 0 {
+			if exec.Interrupted() {
+				return scores
+			}
 			d := int32(len(levels))
 			var next []graph.NodeID
 			if len(current) < serialThreshold {

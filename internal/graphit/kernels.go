@@ -28,12 +28,18 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, sched Schedule, wo
 	const alpha, beta = 15, 18
 
 	for frontier.Size() > 0 {
+		if exec.Interrupted() {
+			return parent // partial; the harness discards cancelled trials
+		}
 		usePull := sched.Direction == PullOnly ||
 			(sched.Direction == DirOpt && scout > edgesToCheck/alpha)
 		if usePull {
 			awake := frontier.Size()
 			cur := frontier.ToBitvector()
 			for {
+				if exec.Interrupted() {
+					return parent
+				}
 				prev := awake
 				next := EdgesetApplyPull(exec, g, cur, workers,
 					//gapvet:ignore atomic-plain-mix -- pull phase: each v writes only parent[v]; barrier-separated from the push phase's CAS
@@ -102,6 +108,9 @@ func sssp(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.Dist
 	const fusionThreshold = 1024
 
 	for {
+		if exec.Interrupted() {
+			return dist
+		}
 		lo := kernel.Dist(bucket) * delta
 		hi := lo + delta
 		exec.ForWorker(len(frontier), workers, func(wid, lo2, hi2 int) {
@@ -201,6 +210,9 @@ func cc(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []graph.
 	}
 
 	for len(frontier) > 0 {
+		if exec.Interrupted() {
+			return comp
+		}
 		var collect chunkCollect
 		exec.ForDynamic(len(frontier), 128, workers, func(lo, hi int) {
 			var local []graph.NodeID
@@ -263,6 +275,9 @@ func pr(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []float6
 	}
 
 	for it := 0; it < kernel.PRMaxIters; it++ {
+		if exec.Interrupted() {
+			return ranks
+		}
 		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {

@@ -18,6 +18,7 @@
 package kernel
 
 import (
+	"fmt"
 	"math"
 
 	"gapbench/internal/graph"
@@ -63,6 +64,22 @@ func (m Mode) String() string {
 	return "Baseline"
 }
 
+// MarshalText renders the mode by name so journal lines stay human-readable.
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText parses a mode name (the journal resume path).
+func (m *Mode) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "Baseline":
+		*m = Baseline
+	case "Optimized":
+		*m = Optimized
+	default:
+		return fmt.Errorf("kernel: unknown mode %q", b)
+	}
+	return nil
+}
+
 // Options carries per-run knobs to a kernel.
 type Options struct {
 	// Workers is the degree of parallelism; <1 means the process default.
@@ -83,6 +100,17 @@ type Options struct {
 	// observable via par.Machine.Stats. Nil means the process-default
 	// machine — kernels must reach it through Exec(), never directly.
 	Machine *par.Machine
+
+	// Cancel is the trial's cooperative cancellation token (nil when the
+	// harness set no deadline). The machine already polls it at slot and
+	// chunk boundaries, so parallel regions drain on their own; kernels must
+	// additionally poll it in their own round/iteration loops (PR
+	// convergence sweeps, SSSP bucket rounds, BFS frontier steps) via
+	// Cancelled() and return early — the returned result is garbage, which
+	// is fine: the harness discards every cancelled trial. A kernel that
+	// ignores the token past the runner's grace period gets its machine
+	// abandoned (DESIGN.md §9), so polling is also self-interest.
+	Cancel *par.CancelToken
 
 	// UndirectedView is the symmetrized form of the input, prebuilt by the
 	// harness. The GAP rules let implementations store multiple forms of the
@@ -117,6 +145,13 @@ func (o Options) Exec() *par.Machine {
 		return o.Machine
 	}
 	return par.Default()
+}
+
+// Cancelled reports whether the harness has cancelled this trial (deadline
+// passed or caller-driven). Nil-safe; kernels poll it at round boundaries
+// and bail out with whatever partial result they have.
+func (o Options) Cancelled() bool {
+	return o.Cancel.Cancelled()
 }
 
 // EffectiveWorkers resolves Options.Workers against the process default.

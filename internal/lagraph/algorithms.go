@@ -23,6 +23,9 @@ func bfsParents(exec *par.Machine, m *matrices, src grb.Index, workers int) *grb
 	q.SetElement(src, src)
 
 	for q.NVals() > 0 {
+		if exec.Interrupted() {
+			return pi // partial; the harness discards cancelled trials
+		}
 		notVisited := grb.NewMask(pi.Structure(), true)
 		// Direction heuristic: pull when the frontier covers a sizeable
 		// fraction of the vertices, push otherwise.
@@ -48,6 +51,9 @@ func deltaStepping(exec *par.Machine, aw *grb.Matrix, src grb.Index, delta kerne
 	dense := t.Dense()
 
 	for b := int32(0); ; {
+		if exec.Interrupted() {
+			return t // partial; the harness discards cancelled trials
+		}
 		lo := b * delta
 		hi := lo + delta
 		tm := grb.SelectRange(t, lo, hi)
@@ -99,6 +105,9 @@ func pagerank(exec *par.Machine, m *matrices, workers int) *grb.Vector[float64] 
 	w := grb.NewFull[float64](n, 0)
 
 	for it := 0; it < kernel.PRMaxIters; it++ {
+		if exec.Interrupted() {
+			return r // partial; the harness discards cancelled trials
+		}
 		rd := r.Dense()
 		wd := w.Dense()
 		dangling := 0.0
@@ -145,6 +154,9 @@ func fastSV(exec *par.Machine, und *grb.Matrix, workers int) *grb.Vector[int64] 
 	gp := append([]int64(nil), fd...) // grandparent snapshot
 
 	for {
+		if exec.Interrupted() {
+			return f // partial; the harness discards cancelled trials
+		}
 		// mngp[v] = min_{u in N(v)} f[u] (isolated vertices keep MaxInt64).
 		mngp := grb.MxVFull(exec, und, f, s, workers)
 		md := mngp.Dense()

@@ -27,6 +27,9 @@ func BFS[G BidirectionalAdjacency](exec *par.Machine, g G, src Vertex, workers i
 	frontier := []Vertex{src}
 
 	for len(frontier) > 0 {
+		if exec.Interrupted() {
+			return parent // partial; the harness discards cancelled trials
+		}
 		if len(frontier) > n/20 {
 			// Bottom-up: scan all unvisited vertices.
 			inFrontier := make([]bool, n) // fresh each switch, like a std::vector<bool>
@@ -103,6 +106,9 @@ func SSSP[G WeightedAdjacency](exec *par.Machine, g G, src Vertex, delta kernel.
 	frontier := []Vertex{src}
 	bucket := 0
 	for {
+		if exec.Interrupted() {
+			return dist
+		}
 		lo := kernel.Dist(bucket) * delta
 		hi := lo + delta
 		exec.ForWorker(len(frontier), workers, func(w, i0, i1 int) {
@@ -172,6 +178,9 @@ func PR[G BidirectionalAdjacency](exec *par.Machine, g G, workers int) []float64
 	}
 
 	for it := 0; it < kernel.PRMaxIters; it++ {
+		if exec.Interrupted() {
+			return ranks
+		}
 		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
@@ -300,6 +309,9 @@ func BC[G BidirectionalAdjacency](exec *par.Machine, g G, sources []Vertex, work
 		levels := [][]Vertex{{src}}
 		current := levels[0]
 		for len(current) > 0 {
+			if exec.Interrupted() {
+				return scores
+			}
 			d := int32(len(levels))
 			var collect nextCollect
 			exec.ForDynamic(len(current), 64, workers, func(lo, hi int) {

@@ -1,0 +1,115 @@
+package par
+
+// cancel.go is the cooperative-cancellation half of the fault-isolation
+// story (DESIGN.md §9). Multi-framework benchmark studies all hit the same
+// operational reality: some (framework, kernel, graph) cells never
+// terminate — Pollard & Norris report exactly this, and "Revisiting Graph
+// Analytics Benchmark" makes per-cell timeouts a first-class evaluation
+// rule. A deadline is only useful if something actually polls it, so the
+// machine carries a region-scoped CancelToken that every schedule consults
+// at its natural work boundaries: per slot for the blocked schedules, per
+// chunk for the dynamic ones, and every cancelStride indices inside the
+// per-index loops so even a single enormous block notices the deadline.
+//
+// Cancellation is strictly cooperative and strictly advisory: a cancelled
+// region skips the *remaining* work and still joins its barrier, so the
+// submitting kernel returns quickly with an incomplete (garbage) result that
+// the harness then discards. Nothing is killed; if a kernel's own loop body
+// never returns, the token cannot help and the runner escalates to machine
+// abandonment (internal/core).
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// cancelStride is how many per-index iterations For/ForCyclic run between
+// deadline polls: a power of two so the poll guard is a single mask. 512
+// index-level iterations amortize the time.Now() call in Cancelled to noise
+// while still bounding the reaction latency of a hot loop.
+const cancelStride = 512
+
+// CancelToken is a one-shot, region-scoped cancellation signal. It fires
+// either when a caller invokes Cancel or when its optional deadline passes
+// (observed lazily at the next poll). All methods are nil-safe: a nil token
+// never cancels, so hot paths guard with a plain pointer test and unconfigured
+// machines pay nothing.
+type CancelToken struct {
+	fired    atomic.Bool
+	deadline time.Time // zero means caller-driven only
+	polls    atomic.Int64
+}
+
+// NewCancelToken returns a caller-driven token (fires only via Cancel).
+func NewCancelToken() *CancelToken { return &CancelToken{} }
+
+// NewDeadlineToken returns a token that fires once d has elapsed from now
+// (or earlier, via Cancel).
+func NewDeadlineToken(d time.Duration) *CancelToken {
+	return &CancelToken{deadline: time.Now().Add(d)}
+}
+
+// Cancel fires the token. Idempotent and safe from any goroutine.
+func (t *CancelToken) Cancel() {
+	if t != nil {
+		t.fired.Store(true)
+	}
+}
+
+// Cancelled reports whether the token has fired, firing it first if the
+// deadline has passed. Nil-safe; the fast path is one atomic load.
+func (t *CancelToken) Cancelled() bool {
+	if t == nil {
+		return false
+	}
+	t.polls.Add(1)
+	if t.fired.Load() {
+		return true
+	}
+	if !t.deadline.IsZero() && !time.Now().Before(t.deadline) {
+		t.fired.Store(true)
+		return true
+	}
+	return false
+}
+
+// Polls reports how many times Cancelled was consulted — the observability
+// hook the cancellation tests use to prove each schedule actually polls.
+func (t *CancelToken) Polls() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.polls.Load()
+}
+
+// SetCancel installs (or, with nil, removes) the machine's region-scoped
+// cancel token. Regions submitted after the call observe the token; regions
+// already in flight observe it at their next slot or chunk boundary, because
+// dispatch re-reads the pointer when each region is built. The harness
+// installs a fresh token per trial and clears it afterwards.
+func (m *Machine) SetCancel(t *CancelToken) {
+	m.cancel.Store(t)
+}
+
+// CancelToken returns the currently installed token (nil when none).
+// Nil-safe: a nil machine resolves to the process default, like every
+// schedule does.
+func (m *Machine) CancelToken() *CancelToken {
+	return m.orDefault().cancel.Load()
+}
+
+// Interrupted reports whether the machine's installed cancel token has
+// fired — the one-line poll framework round loops use:
+//
+//	for !frontier.empty() {
+//		if exec.Interrupted() {
+//			return dist // partial; the harness discards cancelled trials
+//		}
+//		...
+//	}
+//
+// Nil-safe on both the machine and the token; without a token it is one
+// atomic pointer load per round.
+func (m *Machine) Interrupted() bool {
+	return m.orDefault().cancel.Load().Cancelled()
+}

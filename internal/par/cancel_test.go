@@ -1,0 +1,218 @@
+package par_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gapbench/internal/par"
+	"gapbench/internal/testutil"
+)
+
+// TestCancelTokenBasics covers the token state machine: nil safety,
+// caller-driven firing, idempotence, and lazy deadline observation.
+func TestCancelTokenBasics(t *testing.T) {
+	var nilTok *par.CancelToken
+	if nilTok.Cancelled() {
+		t.Error("nil token reported cancelled")
+	}
+	nilTok.Cancel() // must not panic
+	if nilTok.Polls() != 0 {
+		t.Error("nil token reported polls")
+	}
+
+	tok := par.NewCancelToken()
+	if tok.Cancelled() {
+		t.Error("fresh token reported cancelled")
+	}
+	tok.Cancel()
+	tok.Cancel() // idempotent
+	if !tok.Cancelled() {
+		t.Error("fired token reported not cancelled")
+	}
+	if tok.Polls() < 2 {
+		t.Errorf("Polls = %d, want >= 2", tok.Polls())
+	}
+
+	// A deadline token fires lazily: the deadline passing is observed at
+	// the next poll, not by a background timer.
+	dl := par.NewDeadlineToken(time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if !dl.Cancelled() {
+		t.Error("expired deadline token reported not cancelled")
+	}
+	far := par.NewDeadlineToken(time.Hour)
+	if far.Cancelled() {
+		t.Error("future deadline token reported cancelled")
+	}
+}
+
+// TestEverySchedulePollsToken proves each of the five schedules (plus the
+// reduces) consults an installed token: with a pre-fired token, the body
+// must never run, and the token must record polls.
+func TestEverySchedulePollsToken(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const n = 10_000
+	for _, workers := range []int{1, 4} {
+		m := par.NewMachine(workers)
+		schedules := map[string]func(tok *par.CancelToken) int64{
+			"For": func(tok *par.CancelToken) int64 {
+				var ran atomic.Int64
+				m.For(n, workers, func(i int) { ran.Add(1) })
+				return ran.Load()
+			},
+			"ForBlocked": func(tok *par.CancelToken) int64 {
+				var ran atomic.Int64
+				m.ForBlocked(n, workers, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+				return ran.Load()
+			},
+			"ForDynamic": func(tok *par.CancelToken) int64 {
+				var ran atomic.Int64
+				m.ForDynamic(n, 64, workers, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+				return ran.Load()
+			},
+			"ForCyclic": func(tok *par.CancelToken) int64 {
+				var ran atomic.Int64
+				m.ForCyclic(n, workers, func(w, i int) { ran.Add(1) })
+				return ran.Load()
+			},
+			"ForWorker": func(tok *par.CancelToken) int64 {
+				var ran atomic.Int64
+				m.ForWorker(n, workers, func(w, lo, hi int) { ran.Add(int64(hi - lo)) })
+				return ran.Load()
+			},
+			"ReduceInt64": func(tok *par.CancelToken) int64 {
+				return m.ReduceInt64(n, workers, func(lo, hi int) int64 { return int64(hi - lo) })
+			},
+			"ReduceFloat64": func(tok *par.CancelToken) int64 {
+				return int64(m.ReduceFloat64(n, workers, func(lo, hi int) float64 { return float64(hi - lo) }))
+			},
+			"ReduceDynamicInt64": func(tok *par.CancelToken) int64 {
+				return m.ReduceDynamicInt64(n, 64, workers, func(lo, hi int) int64 { return int64(hi - lo) })
+			},
+		}
+		for name, run := range schedules {
+			// Uncancelled: all work happens.
+			tok := par.NewCancelToken()
+			m.SetCancel(tok)
+			if got := run(tok); got != n {
+				t.Errorf("workers=%d %s uncancelled ran %d of %d", workers, name, got, n)
+			}
+			// Pre-fired: no work happens, and the schedule polled.
+			tok = par.NewCancelToken()
+			tok.Cancel()
+			before := tok.Polls()
+			m.SetCancel(tok)
+			if got := run(tok); got != 0 {
+				t.Errorf("workers=%d %s ran %d iterations under a fired token", workers, name, got)
+			}
+			if tok.Polls() == before {
+				t.Errorf("workers=%d %s never polled the token", workers, name)
+			}
+			m.SetCancel(nil)
+		}
+		m.Close()
+	}
+}
+
+// TestMidRegionCancellation fires the token from inside the loop body and
+// checks the region stops early yet still joins its barrier (the call
+// returns). The per-index schedules poll every cancelStride iterations, so
+// at most a stride's worth of extra work may run per slot.
+func TestMidRegionCancellation(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const n = 1 << 20
+	for _, workers := range []int{1, 4} {
+		m := par.NewMachine(workers)
+		tok := par.NewCancelToken()
+		m.SetCancel(tok)
+		var ran atomic.Int64
+		m.For(n, workers, func(i int) {
+			if ran.Add(1) == 100 {
+				tok.Cancel()
+			}
+		})
+		if got := ran.Load(); got >= n {
+			t.Errorf("workers=%d: mid-region cancel did not stop For early (ran %d of %d)", workers, got, n)
+		}
+		m.SetCancel(nil)
+
+		// ForDynamic reacts at the next chunk boundary — which only exists
+		// on the parallel path: the serial fallback passes the whole range
+		// as one chunk, so a mid-body cancel cannot stop it.
+		if workers == 1 {
+			m.SetCancel(nil)
+			m.Close()
+			continue
+		}
+		tok = par.NewCancelToken()
+		m.SetCancel(tok)
+		ran.Store(0)
+		m.ForDynamic(n, 64, workers, func(lo, hi int) {
+			if ran.Add(int64(hi-lo)) >= 64 {
+				tok.Cancel()
+			}
+		})
+		if got := ran.Load(); got >= n {
+			t.Errorf("workers=%d: mid-region cancel did not stop ForDynamic early (ran %d of %d)", workers, got, n)
+		}
+		m.SetCancel(nil)
+		m.Close()
+	}
+}
+
+// TestDeadlineTokenStopsLongRegion installs a short deadline and checks a
+// long region drains well before it would have finished naturally.
+func TestDeadlineTokenStopsLongRegion(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	m := par.NewMachine(2)
+	defer m.Close()
+	tok := par.NewDeadlineToken(5 * time.Millisecond)
+	m.SetCancel(tok)
+	defer m.SetCancel(nil)
+	var ran atomic.Int64
+	start := time.Now()
+	// Each index sleeps, so completing all of them would take >> 10s; the
+	// deadline must cut the region off at a stride boundary instead.
+	m.ForDynamic(1<<20, 8, 2, func(lo, hi int) {
+		ran.Add(int64(hi - lo))
+		time.Sleep(50 * time.Microsecond)
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline did not stop the region: took %v", elapsed)
+	}
+	if got := ran.Load(); got >= 1<<20 {
+		t.Errorf("region ran to completion (%d iterations) despite deadline", got)
+	}
+	if !tok.Cancelled() {
+		t.Error("deadline token never fired")
+	}
+}
+
+// TestLateInstallObservedByNextRegion: SetCancel after a region completes
+// affects the next region only — the machine re-reads the pointer per
+// dispatch.
+func TestLateInstallObservedByNextRegion(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	m := par.NewMachine(2)
+	defer m.Close()
+	var ran atomic.Int64
+	m.For(100, 2, func(i int) { ran.Add(1) })
+	if ran.Load() != 100 {
+		t.Fatalf("pre-install region ran %d of 100", ran.Load())
+	}
+	tok := par.NewCancelToken()
+	tok.Cancel()
+	m.SetCancel(tok)
+	ran.Store(0)
+	m.For(100, 2, func(i int) { ran.Add(1) })
+	if ran.Load() != 0 {
+		t.Errorf("post-install region ran %d iterations under fired token", ran.Load())
+	}
+	m.SetCancel(nil)
+	ran.Store(0)
+	m.For(100, 2, func(i int) { ran.Add(1) })
+	if ran.Load() != 100 {
+		t.Errorf("cleared token still suppressed work: ran %d of 100", ran.Load())
+	}
+}

@@ -61,6 +61,11 @@ type Machine struct {
 	// shards hold the per-worker barrier counters; index size is the
 	// submitter shard (dispatch participates on the caller's goroutine).
 	shards []shard
+
+	// cancel is the region-scoped cancellation token (cancel.go). Regions
+	// capture it at dispatch and poll it at slot/chunk boundaries; nil (the
+	// common case) costs one atomic pointer load per region.
+	cancel atomic.Pointer[CancelToken]
 }
 
 // shard is one cache-line-padded counter block. 64 bytes covers the
@@ -181,6 +186,7 @@ func (m *Machine) worker(id int) {
 type region struct {
 	body   func(slot int)
 	active int32
+	cancel *CancelToken // region-scoped cancellation; nil means none
 	next   atomic.Int32 // next unclaimed slot
 	joined atomic.Int32 // completed slots; the last one closes done
 	done   chan struct{}
@@ -208,7 +214,9 @@ func (r *region) participate(sh *shard) {
 }
 
 // runSlot executes one slot, capturing a panic instead of letting it kill a
-// pool worker, and always joins the barrier so the region cannot deadlock.
+// pool worker, and always joins the barrier so the region cannot deadlock. A
+// cancelled region skips the body but still joins, which is what lets a
+// deadline drain a multi-slot region without anyone waiting forever.
 func (r *region) runSlot(slot int) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -222,6 +230,9 @@ func (r *region) runSlot(slot int) {
 			close(r.done)
 		}
 	}()
+	if r.cancel.Cancelled() {
+		return
+	}
 	r.body(slot)
 }
 
@@ -270,7 +281,7 @@ func (m *Machine) clamp(workers, n int) int {
 // the calling goroutine, returning after every slot has joined the barrier.
 func (m *Machine) dispatch(active int, body func(slot int)) {
 	//gapvet:ignore alloc-in-timed-region -- one completion channel per region, amortized over the region's work (same class as the per-phase func-literal exemption)
-	r := &region{body: body, active: int32(active), done: make(chan struct{})}
+	r := &region{body: body, active: int32(active), cancel: m.cancel.Load(), done: make(chan struct{})}
 	m.regions.Add(1)
 	if m.closed.Load() {
 		// Graceful after-Close degradation: the pool is gone, so the caller
@@ -310,16 +321,22 @@ func (m *Machine) serial() {
 // now thin shims over the process-default machine (par.go).
 
 // For runs fn(i) for every i in [0, n) using statically partitioned
-// contiguous blocks, one per slot.
+// contiguous blocks, one per slot. With a cancel token installed the loop
+// polls every cancelStride indices, so even one huge block reacts to a
+// deadline (slot-boundary checks alone would be too coarse here).
 func (m *Machine) For(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	m = m.orDefault()
+	tok := m.cancel.Load()
 	active := m.clamp(workers, n)
 	if active == 1 {
 		m.serial()
 		for i := 0; i < n; i++ {
+			if tok != nil && i&(cancelStride-1) == 0 && tok.Cancelled() {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -327,6 +344,9 @@ func (m *Machine) For(n, workers int, fn func(i int)) {
 	m.dispatch(active, func(slot int) {
 		lo, hi := slot*n/active, (slot+1)*n/active
 		for i := lo; i < hi; i++ {
+			if tok != nil && i&(cancelStride-1) == 0 && tok.Cancelled() {
+				return
+			}
 			fn(i)
 		}
 	})
@@ -343,6 +363,9 @@ func (m *Machine) ForBlocked(n, workers int, fn func(lo, hi int)) {
 	active := m.clamp(workers, n)
 	if active == 1 {
 		m.serial()
+		if m.cancel.Load().Cancelled() {
+			return
+		}
 		fn(0, n)
 		return
 	}
@@ -361,9 +384,13 @@ func (m *Machine) ForDynamic(n, chunk, workers int, fn func(lo, hi int)) {
 		chunk = 1
 	}
 	m = m.orDefault()
+	tok := m.cancel.Load()
 	active := m.clamp(workers, (n+chunk-1)/chunk)
 	if active == 1 {
 		m.serial()
+		if tok.Cancelled() {
+			return
+		}
 		m.chunks.Add(1)
 		fn(0, n)
 		return
@@ -373,6 +400,9 @@ func (m *Machine) ForDynamic(n, chunk, workers int, fn func(lo, hi int)) {
 	m.dispatch(active, func(slot int) {
 		var c int64
 		for {
+			if tok.Cancelled() {
+				break
+			}
 			lo := int(next.Add(int64(chunk))) - chunk
 			if lo >= n {
 				break
@@ -400,16 +430,23 @@ func (m *Machine) ForCyclic(n, workers int, fn func(worker, i int)) {
 		return
 	}
 	m = m.orDefault()
+	tok := m.cancel.Load()
 	active := m.clamp(workers, n)
 	if active == 1 {
 		m.serial()
 		for i := 0; i < n; i++ {
+			if tok != nil && i&(cancelStride-1) == 0 && tok.Cancelled() {
+				return
+			}
 			fn(0, i)
 		}
 		return
 	}
 	m.dispatch(active, func(slot int) {
-		for i := slot; i < n; i += active {
+		for c, i := 0, slot; i < n; c, i = c+1, i+active {
+			if tok != nil && c&(cancelStride-1) == 0 && tok.Cancelled() {
+				return
+			}
 			fn(slot, i)
 		}
 	})
@@ -425,6 +462,9 @@ func (m *Machine) ForWorker(n, workers int, fn func(worker, lo, hi int)) {
 	active := m.clamp(workers, n)
 	if active == 1 {
 		m.serial()
+		if m.cancel.Load().Cancelled() {
+			return
+		}
 		fn(0, 0, n)
 		return
 	}
@@ -443,6 +483,9 @@ func (m *Machine) ReduceInt64(n, workers int, fn func(lo, hi int) int64) int64 {
 	active := m.clamp(workers, n)
 	if active == 1 {
 		m.serial()
+		if m.cancel.Load().Cancelled() {
+			return 0
+		}
 		return fn(0, n)
 	}
 	partial := make([]int64, active)
@@ -465,6 +508,9 @@ func (m *Machine) ReduceFloat64(n, workers int, fn func(lo, hi int) float64) flo
 	active := m.clamp(workers, n)
 	if active == 1 {
 		m.serial()
+		if m.cancel.Load().Cancelled() {
+			return 0
+		}
 		return fn(0, n)
 	}
 	partial := make([]float64, active)
@@ -487,9 +533,13 @@ func (m *Machine) ReduceDynamicInt64(n, chunk, workers int, fn func(lo, hi int) 
 		chunk = 1
 	}
 	m = m.orDefault()
+	tok := m.cancel.Load()
 	active := m.clamp(workers, (n+chunk-1)/chunk)
 	if active == 1 {
 		m.serial()
+		if tok.Cancelled() {
+			return 0
+		}
 		m.chunks.Add(1)
 		return fn(0, n)
 	}
@@ -499,6 +549,9 @@ func (m *Machine) ReduceDynamicInt64(n, chunk, workers int, fn func(lo, hi int) 
 	m.dispatch(active, func(slot int) {
 		var local, c int64
 		for {
+			if tok.Cancelled() {
+				break
+			}
 			lo := int(next.Add(int64(chunk))) - chunk
 			if lo >= n {
 				break

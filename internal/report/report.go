@@ -147,7 +147,9 @@ func TableIV(results []core.Result, graphs []string) string {
 				bestSec := -1.0
 				winner := ""
 				for _, r := range results {
-					if r.Kernel != k || r.Graph != gname || r.Mode != mode || !r.Verified || r.Seconds < 0 {
+					// Non-OK cells (crashed, timed out, failed verification)
+					// have no time; they can't win or even place.
+					if r.Kernel != k || r.Graph != gname || r.Mode != mode || r.Status != core.OK || !r.Verified || r.Seconds < 0 {
 						continue
 					}
 					if bestSec < 0 || r.Seconds < bestSec {
@@ -155,7 +157,7 @@ func TableIV(results []core.Result, graphs []string) string {
 					}
 				}
 				if bestSec < 0 {
-					row = append(row, "-")
+					row = append(row, "—")
 				} else {
 					any = true
 					row = append(row, fmt.Sprintf("%.4fs [%s]", bestSec, winner))
@@ -234,12 +236,20 @@ func CSV(results []core.Result) string {
 	// The sync_* columns expose each cell's synchronization structure from
 	// the mode's machine (regions launched, inline regions, barrier shares,
 	// dynamic chunks, mean region width) — the per-cell observables behind
-	// the paper's §V-A launch-overhead analysis.
-	b.WriteString("mode,graph,kernel,framework,best_seconds,avg_seconds,stddev_seconds,trials,verified,error," +
+	// the paper's §V-A launch-overhead analysis. The status column is the
+	// fault-model rollup (DESIGN.md §9); non-OK cells leave their timing
+	// columns empty rather than exporting -1 or partial-garbage seconds.
+	b.WriteString("mode,graph,kernel,framework,status,best_seconds,avg_seconds,stddev_seconds,trials,retries,verified,error," +
 		"sync_workers,sync_regions,sync_serial_regions,sync_barriers,sync_chunks,sync_effective_workers\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%s,%s,%.6f,%.6f,%.6f,%d,%t,%q,%d,%d,%d,%d,%d,%.2f\n",
-			r.Mode, r.Graph, r.Kernel, r.Framework, r.Seconds, r.AvgSeconds, r.StdDev, r.Trials, r.Verified, r.Err,
+		best, avg, sd := "", "", ""
+		if r.Status == core.OK && r.Seconds >= 0 {
+			best = fmt.Sprintf("%.6f", r.Seconds)
+			avg = fmt.Sprintf("%.6f", r.AvgSeconds)
+			sd = fmt.Sprintf("%.6f", r.StdDev)
+		}
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s,%s,%s,%d,%d,%t,%q,%d,%d,%d,%d,%d,%.2f\n",
+			r.Mode, r.Graph, r.Kernel, r.Framework, r.Status, best, avg, sd, r.Trials, r.Retries, r.Verified, r.Err,
 			r.Sync.Workers, r.Sync.Regions, r.Sync.SerialRegions, r.Sync.Barriers, r.Sync.Chunks, r.Sync.EffectiveWorkers)
 	}
 	return b.String()
@@ -313,7 +323,7 @@ func MarkdownTableIV(results []core.Result, graphs []string) string {
 				bestSec := -1.0
 				winner := ""
 				for _, r := range results {
-					if r.Kernel != k || r.Graph != gname || r.Mode != mode || !r.Verified || r.Seconds < 0 {
+					if r.Kernel != k || r.Graph != gname || r.Mode != mode || r.Status != core.OK || !r.Verified || r.Seconds < 0 {
 						continue
 					}
 					if bestSec < 0 || r.Seconds < bestSec {

@@ -16,7 +16,8 @@ func sampleResults() []core.Result {
 		{Framework: "GKC", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Baseline, Seconds: 0.1, AvgSeconds: 0.1, Trials: 2, Verified: true},
 		{Framework: "Galois", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Baseline, Seconds: 0.4, AvgSeconds: 0.4, Trials: 2, Verified: true},
 		{Framework: "GAP", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Optimized, Seconds: 0.15, AvgSeconds: 0.15, Trials: 2, Verified: true},
-		{Framework: "GKC", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Optimized, Seconds: 0.3, AvgSeconds: 0.3, Trials: 2, Verified: false, Err: "boom"},
+		{Framework: "GKC", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Optimized, Seconds: 0.3, AvgSeconds: 0.3, Trials: 2, Status: core.VerifyFailed, Verified: false, Err: "boom"},
+		{Framework: "GraphIt", Kernel: core.BFS, Graph: "Kron", Mode: kernel.Baseline, Seconds: -1, Trials: 2, Status: core.TimedOut, Verified: false, Err: "deadline (1s) exceeded"},
 	}
 }
 
@@ -74,14 +75,37 @@ func TestTableVRatios(t *testing.T) {
 func TestCSV(t *testing.T) {
 	out := report.CSV(sampleResults())
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 6 {
-		t.Fatalf("CSV has %d lines, want header+5", len(lines))
+	if len(lines) != 7 {
+		t.Fatalf("CSV has %d lines, want header+6", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "mode,graph,kernel,framework") {
+	if !strings.HasPrefix(lines[0], "mode,graph,kernel,framework,status") {
 		t.Fatalf("header = %q", lines[0])
 	}
 	if !strings.Contains(out, `"boom"`) {
 		t.Error("CSV missing quoted error")
+	}
+	// Non-OK cells export their status and empty timing columns, never -1.
+	if !strings.Contains(out, "GraphIt,TimedOut,,,,") {
+		t.Errorf("timed-out cell should have status + empty timings:\n%s", out)
+	}
+	if strings.Contains(out, "-1.000000") {
+		t.Errorf("CSV leaked a -1 sentinel second:\n%s", out)
+	}
+}
+
+func TestTableIVAndVSkipNonOKCells(t *testing.T) {
+	// A timed-out cell must neither win Table IV nor contribute a Table V
+	// ratio, even if a bogus positive time is attached.
+	res := []core.Result{
+		{Framework: "GAP", Kernel: core.PR, Graph: "Road", Mode: kernel.Baseline, Seconds: 0.2, Trials: 1, Verified: true},
+		{Framework: "GKC", Kernel: core.PR, Graph: "Road", Mode: kernel.Baseline, Seconds: 0.0001, Trials: 1, Status: core.TimedOut, Verified: false, Err: "deadline"},
+	}
+	out := report.TableIV(res, []string{"Road"})
+	if !strings.Contains(out, "[GAP]") || strings.Contains(out, "[GKC]") {
+		t.Errorf("Table IV let a non-OK cell place:\n%s", out)
+	}
+	if sp := core.SpeedupVsReference(res); len(sp) != 0 {
+		t.Errorf("speedups from non-OK cells: %v", sp)
 	}
 }
 

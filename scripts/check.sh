@@ -15,7 +15,12 @@
 #      re-runs grb plus its consumer (lagraph) at -short scale, so a
 #      structurally corrupt vector/matrix panics at the operation boundary
 #      that received it (see DESIGN.md "Runtime sanitizer").
-#   7. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
+#   7. go test -tags=chaos -short <tier> the fault-injection tier: rebuilds
+#      the chaos injector armed and runs the end-to-end fault matrix
+#      (DESIGN.md §9): injected panics, stalls, hangs, and output
+#      corruption must surface as exactly the right per-cell status while
+#      the suite, its journal, and its resume path keep working.
+#   8. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
 #      benchmark (suite cells, ablations, and the ingest-pipeline
 #      Build/Transpose groups — scripts/bench.sh's evidence included)
 #      runs exactly one iteration at the test scale, so a
@@ -47,6 +52,9 @@ go test -race -short ./internal/par/... ./internal/galois/... ./internal/core/..
 
 say "grbcheck sanitizer tier (go test -tags=grbcheck -short)"
 go test -tags=grbcheck -short ./internal/grb/ ./internal/lagraph/
+
+say "chaos fault-injection tier (go test -tags=chaos -short)"
+go test -tags=chaos -short ./internal/core/ ./internal/chaos/
 
 say "benchmark bit-rot guard (go test -run='^$' -bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x .
