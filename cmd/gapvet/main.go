@@ -17,11 +17,15 @@
 //	                       timed kernel packages
 //	swallowed-panic        recover() must record or rethrow the panic value; the
 //	                       fault model sanctions no silent swallowing
+//	graph-mutation         no stores through CSR memory derived from *graph.Graph
+//	                       outside internal/graph (shared graphs are immutable)
+//	cancel-liveness        data-dependent kernel loops must reach a cancellation
+//	                       poll or a par schedule
 //
-// Four of these are dataflow rules: they run on a module-wide call graph
-// built from per-function fact summaries (see internal/analysis/facts.go),
-// so a violation may be reported in a function that looks innocent on its
-// own — the message names the chain that convicts it.
+// Six of these are dataflow rules: they run on a module-wide call graph
+// built from per-function fact summaries (see internal/analysis/facts.go
+// and writeset.go), so a violation may be reported in a function that looks
+// innocent on its own — the message names the chain that convicts it.
 //
 // Usage:
 //

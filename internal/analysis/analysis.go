@@ -67,7 +67,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Analyzers returns the full rule set in canonical order: the v1 syntactic
-// rules first, then the v2 interprocedural (dataflow-engine) rules.
+// rules first, then the v2 interprocedural (dataflow-engine) rules, then the
+// v3 write-set/liveness rules.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		FrameworkIsolation,
@@ -79,6 +80,8 @@ func Analyzers() []*Analyzer {
 		LockOrder,
 		AllocInTimedRegion,
 		SwallowedPanic,
+		GraphMutation,
+		CancelLiveness,
 	}
 }
 

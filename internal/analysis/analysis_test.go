@@ -114,7 +114,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 		"framework-isolation", "par-closure-race", "index-width",
 		"timed-region-purity", "unchecked-error",
 		"atomic-plain-mix", "lock-order", "alloc-in-timed-region",
-		"swallowed-panic",
+		"swallowed-panic", "graph-mutation", "cancel-liveness",
 	}
 	if len(seen) != len(want) {
 		t.Fatalf("expected %d analyzers, got %d", len(want), len(seen))

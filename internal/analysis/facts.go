@@ -197,10 +197,16 @@ type Program struct {
 	// measured-loop overhead (alloc-in-timed-region) must not treat
 	// everything under it as spawned.
 	concurrentTimed map[FuncID]bool
-	transIO    map[FuncID]*ioFact
-	transAlloc map[FuncID]*allocFact
-	transLocks map[FuncID]map[VarKey]token.Pos
-	lockNames  map[VarKey]string
+	transIO         map[FuncID]*ioFact
+	transAlloc      map[FuncID]*allocFact
+	transLocks      map[FuncID]map[VarKey]token.Pos
+	lockNames       map[VarKey]string
+	// writes holds the per-function write-set summaries (writeset.go).
+	writes map[FuncID]*writeFacts
+	// reachesCancel marks functions whose transitive call set contains a
+	// cancellation poll (a method named Cancelled or Interrupted); computed
+	// lazily by ReachesCancelPoll.
+	reachesCancel map[FuncID]bool
 }
 
 // BuildProgram summarizes every non-test function of the packages and runs
@@ -253,7 +259,48 @@ func BuildProgram(pkgs []*Package) *Program {
 	p.fixTransIO()
 	p.fixTransAlloc()
 	p.fixTransLocks()
+	p.fixWriteSets(pkgs)
 	return p
+}
+
+// isCancelPoll reports whether the callee is a cancellation poll: any method
+// named Cancelled (par.CancelToken, kernel.Options) or Interrupted
+// (par.Machine). Matching on the method name keeps fixtures free to supply
+// their own token types.
+func isCancelPoll(id FuncID) bool {
+	return strings.HasSuffix(string(id), ".Cancelled") || strings.HasSuffix(string(id), ".Interrupted")
+}
+
+// ReachesCancelPoll reports whether the function's transitive call set
+// contains a cancellation poll. The closure is computed once on first use.
+func (p *Program) ReachesCancelPoll(id FuncID) bool {
+	if p.reachesCancel == nil {
+		p.reachesCancel = map[FuncID]bool{}
+		for _, fid := range p.order {
+			for _, c := range p.Funcs[fid].Calls {
+				if isCancelPoll(c.Callee) {
+					p.reachesCancel[fid] = true
+					break
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, fid := range p.order {
+				if p.reachesCancel[fid] {
+					continue
+				}
+				for _, c := range p.Funcs[fid].Calls {
+					if p.reachesCancel[c.Callee] {
+						p.reachesCancel[fid] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return p.reachesCancel[id]
 }
 
 // ---------------------------------------------------------------------------

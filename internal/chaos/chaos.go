@@ -45,6 +45,13 @@ const (
 	// Corrupt runs the real kernel and then deterministically flips its
 	// output, so the oracle rejects it. Classified VerifyFailed.
 	Corrupt
+	// CorruptGraph mutates one CSR adjacency entry in place before running
+	// the real kernel — the fault the graphguard sanitizer exists for. The
+	// oracle cannot catch it (it verifies against the same corrupted graph),
+	// so without -tags=graphguard the trial silently passes with a wrong
+	// answer; with it, the runner's seal check panics naming the array.
+	// Classified Panicked under graphguard.
+	CorruptGraph
 )
 
 func (m Mode) String() string {
@@ -57,6 +64,8 @@ func (m Mode) String() string {
 		return "Hang"
 	case Corrupt:
 		return "Corrupt"
+	case CorruptGraph:
+		return "CorruptGraph"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -149,9 +158,10 @@ func (i *Injector) match(kernelName string, opt kernel.Options) *Fault {
 
 // fire runs f's pre-kernel effect. It returns true when the real kernel must
 // be skipped and a placeholder output returned (Stall/Hang — the harness
-// discards it as TimedOut anyway); Panic never returns; Corrupt and nil do
-// nothing here (corruption happens after the real kernel runs).
-func (i *Injector) fire(f *Fault, kernelName string, opt kernel.Options) bool {
+// discards it as TimedOut anyway); Panic never returns; CorruptGraph mutates
+// g's CSR in place and lets the real kernel run; Corrupt and nil do nothing
+// here (output corruption happens after the real kernel runs).
+func (i *Injector) fire(f *Fault, kernelName string, g *graph.Graph, opt kernel.Options) bool {
 	if f == nil {
 		return false
 	}
@@ -176,6 +186,16 @@ func (i *Injector) fire(f *Fault, kernelName string, opt kernel.Options) bool {
 		}
 		time.Sleep(extra)
 		return true
+	case CorruptGraph:
+		_, neigh := g.RawOut()
+		if n := g.NumNodes(); n > 0 && len(neigh) > 0 {
+			v := i.corruptIndex(kernelName, len(neigh))
+			// Increment (mod n, staying a valid vertex id) rather than XOR:
+			// a second firing must not restore the checksum, so a retried
+			// attempt still trips graphguard.
+			//gapvet:ignore graph-mutation -- chaos deliberately corrupts shared CSR memory to exercise the graphguard sanitizer
+			neigh[v] = (neigh[v] + 1) % n
+		}
 	}
 	return false
 }
@@ -204,7 +224,7 @@ func (i *Injector) corruptIndex(kernelName string, n int) int {
 // BFS forwards to the inner framework, firing any matching fault.
 func (i *Injector) BFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID {
 	f := i.match("BFS", opt)
-	if i.fire(f, "BFS", opt) {
+	if i.fire(f, "BFS", g, opt) {
 		return make([]graph.NodeID, g.NumNodes())
 	}
 	parent := i.inner.BFS(g, src, opt)
@@ -221,7 +241,7 @@ func (i *Injector) BFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []g
 // SSSP forwards to the inner framework, firing any matching fault.
 func (i *Injector) SSSP(g *graph.Graph, src graph.NodeID, opt kernel.Options) []kernel.Dist {
 	f := i.match("SSSP", opt)
-	if i.fire(f, "SSSP", opt) {
+	if i.fire(f, "SSSP", g, opt) {
 		return make([]kernel.Dist, g.NumNodes())
 	}
 	dist := i.inner.SSSP(g, src, opt)
@@ -234,7 +254,7 @@ func (i *Injector) SSSP(g *graph.Graph, src graph.NodeID, opt kernel.Options) []
 // PR forwards to the inner framework, firing any matching fault.
 func (i *Injector) PR(g *graph.Graph, opt kernel.Options) []float64 {
 	f := i.match("PR", opt)
-	if i.fire(f, "PR", opt) {
+	if i.fire(f, "PR", g, opt) {
 		return make([]float64, g.NumNodes())
 	}
 	ranks := i.inner.PR(g, opt)
@@ -247,7 +267,7 @@ func (i *Injector) PR(g *graph.Graph, opt kernel.Options) []float64 {
 // CC forwards to the inner framework, firing any matching fault.
 func (i *Injector) CC(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 	f := i.match("CC", opt)
-	if i.fire(f, "CC", opt) {
+	if i.fire(f, "CC", g, opt) {
 		return make([]graph.NodeID, g.NumNodes())
 	}
 	labels := i.inner.CC(g, opt)
@@ -261,7 +281,7 @@ func (i *Injector) CC(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 // BC forwards to the inner framework, firing any matching fault.
 func (i *Injector) BC(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float64 {
 	f := i.match("BC", opt)
-	if i.fire(f, "BC", opt) {
+	if i.fire(f, "BC", g, opt) {
 		return make([]float64, g.NumNodes())
 	}
 	scores := i.inner.BC(g, sources, opt)
@@ -274,7 +294,7 @@ func (i *Injector) BC(g *graph.Graph, sources []graph.NodeID, opt kernel.Options
 // TC forwards to the inner framework, firing any matching fault.
 func (i *Injector) TC(g *graph.Graph, opt kernel.Options) int64 {
 	f := i.match("TC", opt)
-	if i.fire(f, "TC", opt) {
+	if i.fire(f, "TC", g, opt) {
 		return 0
 	}
 	count := i.inner.TC(g, opt)

@@ -14,6 +14,7 @@ import (
 
 	"gapbench/internal/chaos"
 	"gapbench/internal/core"
+	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
 	"gapbench/internal/testutil"
 )
@@ -222,5 +223,35 @@ func TestChaosJournalResumeSkipsCompletedCells(t *testing.T) {
 	}
 	if byKernel[core.PR].Status != core.OK {
 		t.Errorf("fresh PR cell: %+v", byKernel[core.PR])
+	}
+}
+
+// TestChaosCorruptGraphCaughtByGraphguard closes the loop between the chaos
+// fault model and the graphguard sanitizer: a CorruptGraph fault flips CSR
+// memory that the oracle cannot notice (it verifies against the same
+// corrupted graph), so only the runner's seal check can convict it — as a
+// Panicked record naming the array, not a VerifyFailed. Needs both tags:
+// go test -tags='chaos graphguard'.
+func TestChaosCorruptGraphCaughtByGraphguard(t *testing.T) {
+	requireChaos(t)
+	if !graph.GuardEnabled() {
+		t.Skip("needs -tags='chaos graphguard'")
+	}
+	defer testutil.CheckGoroutines(t)()
+	in := loadSmallInput(t)
+	r := chaosRunner()
+	defer r.Close()
+
+	fw := chaos.Wrap(core.FrameworkByName("GAP"), 11,
+		&chaos.Fault{Kernel: "BFS", Mode: chaos.CorruptGraph})
+	res := r.RunCell(fw, core.BFS, in, kernel.Baseline)
+	if res.Status == core.VerifyFailed {
+		t.Fatalf("CorruptGraph surfaced as VerifyFailed (err %q): the oracle cannot own this fault", res.Err)
+	}
+	if res.Status != core.Panicked {
+		t.Fatalf("CorruptGraph cell: status = %v (err %q), want Panicked", res.Status, res.Err)
+	}
+	if !strings.Contains(res.Err, "graphguard") || !strings.Contains(res.Err, "outNeigh") {
+		t.Errorf("err %q does not name the graphguard seal and the corrupted array", res.Err)
 	}
 }

@@ -373,6 +373,13 @@ func (r *Runner) runAttempt(f kernel.Framework, k Kernel, in *Input, mode kernel
 			check = func() error { return verify.CheckTC(in.Undirected, count) }
 		}
 		out.seconds = time.Since(start).Seconds()
+		// graphguard (no-op unless built with -tags=graphguard): the shared
+		// CSR must be byte-identical after every trial. A mutation panics
+		// here, inside the sandbox, so it surfaces as a Panicked record
+		// naming the corrupted array instead of as a wrong result.
+		in.Graph.MustCheckSeal()
+		in.Undirected.MustCheckSeal()
+		in.Relabeled.MustCheckSeal()
 		if tok.Cancelled() {
 			// The kernel returned, but only because the deadline fired; its
 			// partial output is discarded unverified.

@@ -92,6 +92,12 @@ func PrepareInput(spec GraphSpec, g *graph.Graph) *Input {
 	in := &Input{Spec: spec, Graph: g}
 	in.Undirected = g.Undirected()
 	in.Relabeled, _ = graph.DegreeRelabel(in.Undirected)
+	// graphguard (no-op otherwise): checksum the CSR arrays of every view a
+	// kernel can reach, so the runner can prove them untouched after each
+	// trial.
+	in.Graph.Seal()
+	in.Undirected.Seal()
+	in.Relabeled.Seal()
 	in.Sources = PickSources(g, maxTrialSources, spec.SourceSeed)
 	for i := 0; i+kernel.BCSources <= len(in.Sources); i += kernel.BCSources {
 		in.BCRoots = append(in.BCRoots, in.Sources[i:i+kernel.BCSources])

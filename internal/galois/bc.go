@@ -135,6 +135,9 @@ func forwardSync(exec *par.Machine, g *graph.Graph, src graph.NodeID, depth []in
 	levels := [][]graph.NodeID{{src}}
 	current := levels[0]
 	for len(current) > 0 {
+		if exec.Interrupted() {
+			break // partial levels; the harness discards cancelled trials
+		}
 		d := int32(len(levels))
 		collected := &bag{}
 		exec.ForDynamic(len(current), chunkSize, workers, func(lo, hi int) {

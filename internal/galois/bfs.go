@@ -84,6 +84,9 @@ func syncBFS(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) [
 	const alpha, beta = 15, 18
 
 	for len(frontier) > 0 {
+		if exec.Interrupted() {
+			return parent // partial tree; the harness discards cancelled trials
+		}
 		if scout > edgesToCheck/alpha {
 			front.Reset()
 			for _, u := range frontier {
@@ -160,6 +163,7 @@ func syncBFS(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) [
 
 // drainBag empties a bag into dst, recycling the chunks.
 func drainBag(b *bag, dst []graph.NodeID) []graph.NodeID {
+	//gapvet:ignore cancel-liveness -- bounded: every iteration removes one chunk from a finite bag with no concurrent producers
 	for {
 		c := b.get()
 		if c == nil {

@@ -81,6 +81,9 @@ func bulkSSSP(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.
 		lo := kernel.Dist(b) * delta
 		hi := lo + delta
 		for !buckets[b].empty() {
+			if exec.Interrupted() {
+				return dist // partial distances; the harness discards cancelled trials
+			}
 			// One bulk-synchronous pass over the bucket's current chunks.
 			work := drainBag(buckets[b], nil)
 			results := make([]*priorityChunks, workers)

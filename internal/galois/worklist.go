@@ -64,6 +64,7 @@ func (b *bag) empty() bool {
 // fillBag distributes a slice of initial work into a bag in chunks.
 func fillBag(items []graph.NodeID) *bag {
 	b := &bag{}
+	//gapvet:ignore cancel-liveness -- bounded: items shrinks by a full chunk every iteration, so the trip count is len(items)/chunkSize
 	for len(items) > 0 {
 		c := chunkPool.Get().(*chunk)
 		c.n = copy(c.items[:], items)

@@ -38,6 +38,10 @@ type Graph struct {
 	// Weights parallel the adjacency arrays; nil for unweighted graphs.
 	outWeight []Weight
 	inWeight  []Weight
+
+	// seal holds the graphguard checksums recorded by Seal (guard.go); nil
+	// when unsealed or when the graphguard build tag is off.
+	seal *[6]uint64
 }
 
 // NumNodes returns the number of vertices.

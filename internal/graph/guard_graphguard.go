@@ -1,0 +1,7 @@
+//go:build graphguard
+
+package graph
+
+// Building with -tags=graphguard turns the CSR seal sanitizer on; see
+// guard.go.
+func init() { graphguardEnabled = true }

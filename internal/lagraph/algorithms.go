@@ -235,6 +235,9 @@ func betweenness(exec *par.Machine, m *matrices, sources []grb.Index, workers in
 	// Forward: one batched product per global level until every root's
 	// frontier is empty.
 	for frontier.NVals() > 0 {
+		if exec.Interrupted() {
+			return scores // partial scores; the harness discards cancelled trials
+		}
 		next := grb.DenseMxM(exec, frontier, m.a, func(r int) *grb.Mask {
 			return grb.NewMask(visited[r], true)
 		}, workers)

@@ -4,7 +4,9 @@
 # Runs, in order:
 #   1. go build ./...                 everything compiles
 #   2. go vet ./...                   the standard toolchain checks
-#   3. gapvet ./...                   this repo's own invariants (see DESIGN.md)
+#   3. gapvet ./...                   this repo's own invariants (see DESIGN.md);
+#      asserted to exit 0 in under 60 seconds — the analysis is part of the
+#      inner loop, so its cost is a gated budget, not a trend
 #   4. go test ./...                  the full tier-1 suite
 #   5. go test -race -short <tier>    the race-detector smoke tier: the
 #      parallel substrate (par), the most race-prone executor (galois), and
@@ -15,12 +17,18 @@
 #      re-runs grb plus its consumer (lagraph) at -short scale, so a
 #      structurally corrupt vector/matrix panics at the operation boundary
 #      that received it (see DESIGN.md "Runtime sanitizer").
-#   7. go test -tags=chaos -short <tier> the fault-injection tier: rebuilds
+#   7. go test -tags=graphguard <tier> the graphguard sanitizer tier: rebuilds
+#      with CSR seal checks armed and re-runs graph plus the runner, so a
+#      kernel that mutates shared graph memory panics at the trial boundary
+#      naming the corrupted array (see DESIGN.md §9 "Graph seal").
+#   8. go test -tags=chaos -short <tier> the fault-injection tier: rebuilds
 #      the chaos injector armed and runs the end-to-end fault matrix
 #      (DESIGN.md §9): injected panics, stalls, hangs, and output
 #      corruption must surface as exactly the right per-cell status while
-#      the suite, its journal, and its resume path keep working.
-#   8. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
+#      the suite, its journal, and its resume path keep working. A second
+#      pass with both chaos and graphguard armed closes the loop: the
+#      CorruptGraph fault must be caught by the seal check as Panicked.
+#   9. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
 #      benchmark (suite cells, ablations, and the ingest-pipeline
 #      Build/Transpose groups — scripts/bench.sh's evidence included)
 #      runs exactly one iteration at the test scale, so a
@@ -41,8 +49,15 @@ go build ./...
 say "go vet ./..."
 go vet ./...
 
-say "gapvet ./..."
+say "gapvet ./... (must exit 0 in <60s)"
+gapvet_start=$(date +%s)
 go run ./cmd/gapvet ./...
+gapvet_elapsed=$(( $(date +%s) - gapvet_start ))
+if [ "$gapvet_elapsed" -ge 60 ]; then
+    echo "gapvet took ${gapvet_elapsed}s, budget is 60s" >&2
+    exit 1
+fi
+echo "gapvet clean in ${gapvet_elapsed}s"
 
 say "go test ./..."
 go test ./...
@@ -53,8 +68,14 @@ go test -race -short ./internal/par/... ./internal/galois/... ./internal/core/..
 say "grbcheck sanitizer tier (go test -tags=grbcheck -short)"
 go test -tags=grbcheck -short ./internal/grb/ ./internal/lagraph/
 
+say "graphguard sanitizer tier (go test -tags=graphguard -short)"
+go test -tags=graphguard -short ./internal/graph/ ./internal/core/
+
 say "chaos fault-injection tier (go test -tags=chaos -short)"
 go test -tags=chaos -short ./internal/core/ ./internal/chaos/
+
+say "chaos+graphguard tier (go test -tags='chaos graphguard' -short)"
+go test -tags='chaos graphguard' -short ./internal/core/
 
 say "benchmark bit-rot guard (go test -run='^$' -bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x .
