@@ -27,6 +27,21 @@
 // and writeset.go), so a violation may be reported in a function that looks
 // innocent on its own — the message names the chain that convicts it.
 //
+// Four more rules run only under -perf, because they need a compiler run:
+// gapvet rebuilds the loaded packages with -gcflags='-m=2
+// -d=ssa/check_bce/debug=1', parses the escape/inline/BCE diagnostics
+// (internal/analysis/compilerfacts.go), and joins them against the same
+// dataflow facts:
+//
+//	escape-in-kernel       no heap escapes inside parallel hot loops of timed
+//	                       kernel packages
+//	closure-capture-hot    par closures must not capture variables whose heap
+//	                       cells are re-allocated per hot call
+//	bce-miss               no provably-eliminable bounds checks in innermost
+//	                       parallel kernel loops
+//	inline-miss            calls in innermost parallel kernel loops should
+//	                       target inlinable callees
+//
 // Usage:
 //
 //	gapvet [flags] [patterns]
@@ -37,7 +52,9 @@
 //
 //	file:line: [rule] message
 //
-// and can be suppressed at the site with a justified comment:
+// or, under -json, as a JSON array of {file, line, col, rule, message}
+// objects on stdout for CI annotation. Findings can be suppressed at the
+// site with a justified comment:
 //
 //	//gapvet:ignore rule-name -- why this is safe
 //
@@ -45,6 +62,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	list := fs.Bool("list", false, "list the rules and exit")
 	root := fs.String("root", "", "module root directory (default: nearest go.mod above the working directory)")
+	perf := fs.Bool("perf", false, "run the compiler-assisted perf rules (invokes 'go build' with diagnostic flags)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	enabled := map[string]*bool{}
 	for _, a := range analysis.Analyzers() {
 		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
@@ -114,13 +134,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, active)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	var cfacts *analysis.CompilerFacts
+	if *perf {
+		var dirs []string
+		for _, pkg := range pkgs {
+			if pkg.Dir != "" {
+				dirs = append(dirs, pkg.Dir)
+			}
+		}
+		cfacts, err = analysis.HarvestCompilerFacts(dir, dirs)
+		if err != nil {
+			fmt.Fprintf(stderr, "gapvet: %v\n", err)
+			return 2
+		}
+		if n := len(cfacts.BuildErrors); n > 0 {
+			fmt.Fprintf(stderr, "gapvet: compiler harvest: %d build error line(s); perf facts may be incomplete\n", n)
+		}
+	}
+
+	diags := analysis.RunWithCompilerFacts(pkgs, active, cfacts)
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "gapvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "gapvet: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable finding shape emitted under -json,
+// mirroring the canonical text form field for field so the two outputs
+// round-trip.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders the diagnostics as an indented JSON array ("[]" when
+// clean) followed by a newline.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,11 +31,11 @@ func fixtureArgs(t *testing.T, extra ...string) []string {
 	return append(append([]string{"-root", root}, extra...), "cmd/gapvet/testdata/src/...")
 }
 
-// TestGolden locks the full CLI output on the fixture tree: every rule
-// firing at its expected site, the suppressed finding absent, findings
-// sorted, exit code 1.
+// TestGolden locks the full CLI output on the fixture tree: every rule —
+// including the four compiler-assisted -perf rules — firing at its expected
+// site, the suppressed finding absent, findings sorted, exit code 1.
 func TestGolden(t *testing.T) {
-	code, stdout, stderr := gapvet(t, fixtureArgs(t)...)
+	code, stdout, stderr := gapvet(t, fixtureArgs(t, "-perf")...)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
 	}
@@ -53,13 +55,63 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestJSONRoundTrip checks that -json emits the same findings as the text
+// form, field for field: decoding the array and re-rendering each entry as
+// "file:line: [rule] message" must reproduce the golden output exactly.
+func TestJSONRoundTrip(t *testing.T) {
+	code, stdout, stderr := gapvet(t, fixtureArgs(t, "-perf", "-json")...)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("decoding -json output: %v\noutput: %s", err, stdout)
+	}
+	var rendered strings.Builder
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("finding has empty field: %+v", f)
+		}
+		fmt.Fprintf(&rendered, "%s:%d: [%s] %s\n", f.File, f.Line, f.Rule, f.Message)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if rendered.String() != string(want) {
+		t.Errorf("re-rendered JSON findings do not match golden.txt:\n--- got ---\n%s--- want ---\n%s", rendered.String(), want)
+	}
+}
+
+// TestJSONClean emits an empty array, not nothing, when there are no
+// findings.
+func TestJSONClean(t *testing.T) {
+	root, err := analysis.FindModuleRoot("")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	code, stdout, stderr := gapvet(t, "-root", root, "-json", "internal/verify")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout)
+	}
+}
+
 // TestRuleDisableFlags checks the per-rule enable/disable flags: disabling a
 // rule removes exactly its findings.
 func TestRuleDisableFlags(t *testing.T) {
-	_, all, _ := gapvet(t, fixtureArgs(t)...)
+	_, all, _ := gapvet(t, fixtureArgs(t, "-perf")...)
 	for _, a := range analysis.Analyzers() {
 		t.Run(a.Name, func(t *testing.T) {
-			code, out, _ := gapvet(t, fixtureArgs(t, "-"+a.Name+"=false")...)
+			code, out, _ := gapvet(t, fixtureArgs(t, "-perf", "-"+a.Name+"=false")...)
 			if strings.Contains(out, "["+a.Name+"]") {
 				t.Errorf("-%s=false still produced %s findings:\n%s", a.Name, a.Name, out)
 			}

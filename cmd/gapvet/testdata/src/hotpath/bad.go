@@ -1,0 +1,131 @@
+// Package hotpath is a gapvet fixture for the compiler-assisted perf rules
+// (gapvet -perf). Each exported function carries one deliberate
+// compiler-level defect on a parallel hot path: a per-element heap escape,
+// a hot closure capture, a retained bounds check, and an over-budget callee
+// in an innermost loop. The package compiles — the harvest builds it to
+// collect the diagnostics — but is never executed.
+package hotpath
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Node is heap bait for the escape offender.
+type Node struct {
+	ID   int
+	Next *Node
+}
+
+// runParallel is the fixture's spawner: closures handed to it run on worker
+// goroutines, which is what puts their loops on the parallel hot path.
+func runParallel(workers int, body func(w int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body(id)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// HotEscape allocates a Node per element inside a worker loop; every &Node
+// literal escapes into the shared result. [escape-in-kernel]
+func HotEscape(n int) []*Node {
+	parts := make([][]*Node, 2)
+	runParallel(2, func(w int) {
+		var local []*Node
+		for i := w; i < n; i += 2 {
+			local = append(local, &Node{ID: i})
+		}
+		parts[w] = local
+	})
+	return append(parts[0], parts[1]...)
+}
+
+// hotCapture counts positive values; scout's heap cell is re-allocated on
+// every call because the worker closure captures it. [closure-capture-hot]
+func hotCapture(vals []int64) int64 {
+	var scout int64
+	runParallel(2, func(w int) {
+		for _, v := range vals {
+			if v > int64(w) {
+				atomic.AddInt64(&scout, 1)
+			}
+		}
+	})
+	return scout
+}
+
+// DriveRounds calls hotCapture from its round loop, which is what makes the
+// per-call allocation hot.
+func DriveRounds(vals []int64, rounds int) int64 {
+	var total int64
+	for r := 0; r < rounds; r++ {
+		total += hotCapture(vals)
+	}
+	return total
+}
+
+// Accum carries the bounds-check offender's state.
+type Accum struct {
+	vals []int64
+	hits int64
+}
+
+// bump is kept out of line so the store it makes through the receiver
+// clobbers the compiler's view of a.vals inside HotIndex's loop.
+//
+//go:noinline
+func (a *Accum) bump() { a.hits++ }
+
+// HotIndex updates a.vals under an index the range loop already bounds; the
+// out-of-line bump call makes the compiler re-load the field each
+// iteration, so the bounds check survives. [bce-miss]
+func (a *Accum) HotIndex() {
+	runParallel(1, func(w int) {
+		for i := range a.vals {
+			a.vals[i] += int64(i + w)
+			a.bump()
+		}
+	})
+}
+
+// mixStep is deliberately a hair over the inline budget: calling it from an
+// innermost worker loop pays call overhead per element. [inline-miss]
+func mixStep(acc, v int64) int64 {
+	x := acc ^ (v * 0x5851f42d4c957f2d)
+	x ^= x >> 29
+	x *= 0x2545f4914f6cdd1d
+	x ^= x >> 32
+	x *= 0x41c64e6d
+	x ^= x >> 31
+	x += v<<13 ^ acc>>17
+	x *= 0x6c078965
+	x ^= x >> 27
+	x += acc * 0x3243f6a9
+	x ^= x << 7
+	x -= v ^ x>>11
+	x *= 0x9908b0df
+	x ^= x >> 18
+	if x == 0 {
+		x = v | 1
+	}
+	return x
+}
+
+// HotCalls folds every value through mixStep from the workers' innermost
+// loop.
+func HotCalls(vals []int64) int64 {
+	var acc int64
+	runParallel(2, func(w int) {
+		local := int64(w)
+		for _, v := range vals {
+			local = mixStep(local, v)
+		}
+		atomic.AddInt64(&acc, local)
+	})
+	return acc
+}

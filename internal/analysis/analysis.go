@@ -42,6 +42,12 @@ type Analyzer struct {
 	// Program (call graph + function summaries) once per invocation and
 	// hands it to the pass when any enabled analyzer sets this.
 	NeedsFacts bool
+	// NeedsCompilerFacts marks the perf rules that join harvested compiler
+	// diagnostics against the Program. These analyzers are skipped — not
+	// failed — when no harvest was supplied (Run instead of
+	// RunWithCompilerFacts), so the default gapvet invocation stays a pure
+	// AST/type pass with no compiler dependency.
+	NeedsCompilerFacts bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -53,7 +59,10 @@ type Pass struct {
 	// Prog is the module-wide fact database (nil unless the analyzer set
 	// NeedsFacts). It spans every package of the Run call, so rules can
 	// follow call chains across package boundaries.
-	Prog   *Program
+	Prog *Program
+	// CFacts is the harvested compiler-diagnostics table (nil unless the
+	// run supplied one and the analyzer set NeedsCompilerFacts).
+	CFacts *CompilerFacts
 	report func(Diagnostic)
 }
 
@@ -82,6 +91,10 @@ func Analyzers() []*Analyzer {
 		SwallowedPanic,
 		GraphMutation,
 		CancelLiveness,
+		EscapeInKernel,
+		ClosureCaptureHot,
+		BCEMiss,
+		InlineMiss,
 	}
 }
 
@@ -99,9 +112,24 @@ func ByName(name string) *Analyzer {
 // //gapvet:ignore suppressions, and returns the surviving diagnostics
 // sorted by position. When any analyzer needs interprocedural facts, the
 // module-wide Program is built once over all packages and shared.
+// Analyzers that need compiler facts are skipped; use RunWithCompilerFacts.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var prog *Program
+	return RunWithCompilerFacts(pkgs, analyzers, nil)
+}
+
+// RunWithCompilerFacts is Run with a harvested compiler-diagnostics table
+// for the perf rules. With cf == nil, analyzers needing compiler facts are
+// skipped entirely — they neither run nor force the Program build.
+func RunWithCompilerFacts(pkgs []*Package, analyzers []*Analyzer, cf *CompilerFacts) []Diagnostic {
+	var active []*Analyzer
 	for _, a := range analyzers {
+		if a.NeedsCompilerFacts && cf == nil {
+			continue
+		}
+		active = append(active, a)
+	}
+	var prog *Program
+	for _, a := range active {
 		if a.NeedsFacts {
 			prog = BuildProgram(pkgs)
 			break
@@ -115,8 +143,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				diags = append(diags, d)
 			}
 		}
-		for _, a := range analyzers {
+		for _, a := range active {
 			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, report: sink}
+			if a.NeedsCompilerFacts {
+				pass.CFacts = cf
+			}
 			a.Run(pass)
 		}
 	}

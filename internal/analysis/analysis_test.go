@@ -115,6 +115,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 		"timed-region-purity", "unchecked-error",
 		"atomic-plain-mix", "lock-order", "alloc-in-timed-region",
 		"swallowed-panic", "graph-mutation", "cancel-liveness",
+		"escape-in-kernel", "closure-capture-hot", "bce-miss", "inline-miss",
 	}
 	if len(seen) != len(want) {
 		t.Fatalf("expected %d analyzers, got %d", len(want), len(seen))

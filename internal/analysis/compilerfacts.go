@@ -1,0 +1,358 @@
+// Compiler-diagnostics harvest: run the Go compiler over the module with
+// escape analysis, inline-budget, and bounds-check-elimination reporting
+// turned on, and parse the position-tagged stderr stream into fact tables
+// the perf rules (perfrules.go) join against the dataflow Program.
+//
+// The join key is the source position, not a symbol name. Escape and BCE
+// diagnostics never print a symbol at all ("x escapes to heap",
+// "Found IsInBounds"); inline diagnostics print compiler-mangled names
+// ("(*chunkAppender).flush", "Relax[go.shape.int32]") that would need a
+// demangler to match go/types. Positions need no translation: the compiler
+// prints them root-relative with forward slashes, exactly as the loader's
+// display names render them (see load.go), so "file:line:col" strings align
+// byte-for-byte between the two worlds.
+//
+// The parser is deliberately tolerant. -m=2 output is an unstable debugging
+// interface: flow annotations, "can inline" notes, package headers, and
+// stdlib positions all interleave with the lines we want, and future Go
+// releases may add shapes we have never seen. Anything unrecognized is
+// skipped, never fatal — a harvest that goes blind on a new toolchain
+// degrades to zero perf findings, not to a broken gapvet.
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CompilerFactKind classifies one parsed compiler diagnostic.
+type CompilerFactKind uint8
+
+const (
+	// FactEscape is an "<expr> escapes to heap" line: a value whose address
+	// flows somewhere the compiler cannot track, forcing a heap allocation.
+	FactEscape CompilerFactKind = iota
+	// FactMovedToHeap is a "moved to heap: <var>" line: a declared variable
+	// whose storage the compiler hoisted off the stack, typically because a
+	// closure captures it by reference.
+	FactMovedToHeap
+	// FactBoundsCheck is a "Found IsInBounds" / "Found IsSliceInBounds"
+	// line from -d=ssa/check_bce/debug=1: a bounds check the SSA pass could
+	// not eliminate.
+	FactBoundsCheck
+	// FactCannotInline is a "cannot inline <fn>: ..." line; when the reason
+	// is an exceeded cost budget, Cost and Budget carry the numbers.
+	FactCannotInline
+)
+
+// String returns the kind's diagnostic vocabulary for messages and tests.
+func (k CompilerFactKind) String() string {
+	switch k {
+	case FactEscape:
+		return "escapes-to-heap"
+	case FactMovedToHeap:
+		return "moved-to-heap"
+	case FactBoundsCheck:
+		return "bounds-check"
+	case FactCannotInline:
+		return "cannot-inline"
+	}
+	return fmt.Sprintf("CompilerFactKind(%d)", int(k))
+}
+
+// CompilerFact is one parsed diagnostic, keyed by its source position.
+type CompilerFact struct {
+	// File is the position's file name exactly as the compiler printed it
+	// (root-relative, forward slashes), after stripping any "./" prefix.
+	File string
+	Line int
+	// Col is the 1-based column, or 0 when the diagnostic omitted one.
+	Col  int
+	Kind CompilerFactKind
+	// Detail is the kind-specific payload: the escaping expression, the
+	// moved variable's name, "IsInBounds"/"IsSliceInBounds", or the
+	// cannot-inline reason.
+	Detail string
+	// Fn is the function name as the compiler printed it (FactCannotInline
+	// only); it is informational, never a join key.
+	Fn string
+	// Cost and Budget are set for cost-form inline failures ("cost 105
+	// exceeds budget 80"), zero otherwise.
+	Cost, Budget int
+}
+
+// CompilerFacts is the harvested fact table for one compiler run.
+type CompilerFacts struct {
+	// Facts holds every parsed diagnostic, ordered by file, line, column.
+	Facts []CompilerFact
+	// BuildErrors records packages that failed to compile during the
+	// harvest. A failed package contributes no facts (the rules simply see
+	// nothing there) but the harvest itself still succeeds.
+	BuildErrors []string
+
+	byFile map[string][]CompilerFact
+	// inline maps "file:line" of a function declaration to its
+	// cannot-inline fact. Generic instantiations repeat the same decl
+	// position; the first parse wins, which is deterministic because the
+	// compiler emits shapes in a fixed order per build.
+	inline map[string]CompilerFact
+}
+
+// AtFile returns the facts whose position lies in the given file
+// (root-relative, forward slashes), in line order.
+func (cf *CompilerFacts) AtFile(file string) []CompilerFact {
+	return cf.byFile[file]
+}
+
+// CannotInlineAt returns the cannot-inline fact for the function declared at
+// file:line, if the compiler reported one.
+func (cf *CompilerFacts) CannotInlineAt(file string, line int) (CompilerFact, bool) {
+	f, ok := cf.inline[fmt.Sprintf("%s:%d", file, line)]
+	return f, ok
+}
+
+// factKey dedupes diagnostics: -m=2 prints escape facts twice (once with a
+// flow trace, once bare), check_bce repeats a position per SSA value, and
+// generic instantiation replays a function body per shape.
+type factKey struct {
+	file      string
+	line, col int
+	kind      CompilerFactKind
+	detail    string
+}
+
+// ParseCompilerDiagnostics reads a compiler stderr stream and extracts the
+// fact table. Unrecognized lines — flow annotations, "can inline" notes,
+// "# package" headers, future diagnostics — are skipped silently.
+func ParseCompilerDiagnostics(r io.Reader) *CompilerFacts {
+	cf := &CompilerFacts{
+		byFile: map[string][]CompilerFact{},
+		inline: map[string]CompilerFact{},
+	}
+	seen := map[factKey]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' || line[0] == ' ' || line[0] == '\t' {
+			// Package headers and indented escape-flow annotations.
+			continue
+		}
+		fact, ok := parseDiagnosticLine(line)
+		if !ok {
+			continue
+		}
+		key := factKey{fact.File, fact.Line, fact.Col, fact.Kind, fact.Detail}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if fact.Kind == FactCannotInline {
+			declKey := fmt.Sprintf("%s:%d", fact.File, fact.Line)
+			if _, dup := cf.inline[declKey]; dup {
+				continue // another generic shape of the same declaration
+			}
+			cf.inline[declKey] = fact
+		}
+		cf.Facts = append(cf.Facts, fact)
+	}
+	sort.SliceStable(cf.Facts, func(i, j int) bool {
+		a, b := cf.Facts[i], cf.Facts[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	for _, f := range cf.Facts {
+		cf.byFile[f.File] = append(cf.byFile[f.File], f)
+	}
+	return cf
+}
+
+// parseDiagnosticLine classifies one non-indented compiler line. The
+// expected shape is "file:line:col: message" (the column is occasionally
+// absent). Returns ok=false for anything that is not one of the four fact
+// kinds or whose position does not parse.
+func parseDiagnosticLine(line string) (CompilerFact, bool) {
+	file, ln, col, msg, ok := splitPosition(line)
+	if !ok {
+		return CompilerFact{}, false
+	}
+	if strings.HasPrefix(file, "/") || strings.HasPrefix(file, "<") {
+		// Stdlib or synthetic positions; only module-relative files join.
+		return CompilerFact{}, false
+	}
+	fact := CompilerFact{File: file, Line: ln, Col: col}
+	switch {
+	case strings.HasPrefix(msg, "moved to heap: "):
+		fact.Kind = FactMovedToHeap
+		fact.Detail = strings.TrimPrefix(msg, "moved to heap: ")
+	case strings.HasSuffix(msg, " escapes to heap") || strings.HasSuffix(msg, " escapes to heap:"):
+		fact.Kind = FactEscape
+		fact.Detail = strings.TrimSuffix(strings.TrimSuffix(msg, ":"), " escapes to heap")
+	case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+		fact.Kind = FactBoundsCheck
+		fact.Detail = strings.TrimPrefix(msg, "Found ")
+	case strings.HasPrefix(msg, "cannot inline "):
+		rest := strings.TrimPrefix(msg, "cannot inline ")
+		fn, reason, found := strings.Cut(rest, ": ")
+		if !found {
+			return CompilerFact{}, false
+		}
+		fact.Kind = FactCannotInline
+		fact.Fn = fn
+		fact.Detail = reason
+		// "function too complex: cost 105 exceeds budget 80"
+		if _, costs, hasCost := strings.Cut(reason, ": cost "); hasCost {
+			var c, b int
+			if n, err := fmt.Sscanf(costs, "%d exceeds budget %d", &c, &b); err == nil && n == 2 {
+				fact.Cost, fact.Budget = c, b
+			}
+		}
+	default:
+		return CompilerFact{}, false
+	}
+	if fact.Detail == "" {
+		return CompilerFact{}, false
+	}
+	return fact, true
+}
+
+// splitPosition parses the "file:line:col: " or "file:line: " prefix of a
+// diagnostic line. File names may not contain colons here — the compiler
+// prints module-relative paths — so scanning for ": " separators suffices.
+func splitPosition(line string) (file string, ln, col int, msg string, ok bool) {
+	head, msg, found := strings.Cut(line, ": ")
+	if !found || msg == "" {
+		return "", 0, 0, "", false
+	}
+	parts := strings.Split(head, ":")
+	n := len(parts)
+	if n < 2 {
+		return "", 0, 0, "", false
+	}
+	// Trailing numeric fields are line[:col]; everything before is the file.
+	if c, err := parseInt(parts[n-1]); err == nil && n >= 3 {
+		if l, err2 := parseInt(parts[n-2]); err2 == nil {
+			file = strings.Join(parts[:n-2], ":")
+			file = strings.TrimPrefix(file, "./")
+			if !strings.HasSuffix(file, ".go") {
+				return "", 0, 0, "", false
+			}
+			return file, l, c, msg, true
+		}
+	}
+	if l, err := parseInt(parts[n-1]); err == nil {
+		file = strings.Join(parts[:n-1], ":")
+		file = strings.TrimPrefix(file, "./")
+		if !strings.HasSuffix(file, ".go") {
+			return "", 0, 0, "", false
+		}
+		return file, l, 0, msg, true
+	}
+	return "", 0, 0, "", false
+}
+
+// parseInt is strconv.Atoi restricted to plain positive decimals, so that
+// "52" parses but "col 3" or "-1" does not.
+func parseInt(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("not a digit: %q", c)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("overflow")
+		}
+	}
+	return n, nil
+}
+
+// benignDiagnostic reports whether a position-tagged line is known -m
+// chatter rather than a compile error: inline bookkeeping, no-escape notes,
+// parameter-leak annotations. Used only to separate real build failures
+// from diagnostics when the compiler exits nonzero.
+func benignDiagnostic(line string) bool {
+	_, _, _, msg, ok := splitPosition(line)
+	if !ok {
+		return false
+	}
+	return strings.HasPrefix(msg, "can inline ") ||
+		strings.HasPrefix(msg, "inlining call to ") ||
+		strings.HasPrefix(msg, "leaking param") ||
+		strings.HasPrefix(msg, "ignoring self-assignment") ||
+		strings.HasPrefix(msg, "mark escaped content") ||
+		strings.Contains(msg, " does not escape")
+}
+
+// HarvestCompilerFacts compiles the given package directories (paths
+// relative to the module root) with diagnostic flags enabled and parses the
+// result. The flags are scoped to the named packages — not -gcflags=all= —
+// so the standard library and dependencies build silently from cache; only
+// module code is of interest and only module positions would survive the
+// join anyway.
+//
+// Compilation failures in individual packages are tolerated and recorded in
+// BuildErrors: fixture trees under testdata may deliberately not build, and
+// a half-broken working tree should still lint the packages that do. The
+// error return is reserved for the harvest being impossible (no go tool).
+func HarvestCompilerFacts(root string, dirs []string) (*CompilerFacts, error) {
+	args := []string{"build", "-gcflags=-m=2 -d=ssa/check_bce/debug=1"}
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		rel := dir
+		if filepath.IsAbs(rel) {
+			r, err := filepath.Rel(root, dir)
+			if err != nil || strings.HasPrefix(r, "..") {
+				continue
+			}
+			rel = r
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "" || rel == "." {
+			rel = "."
+		} else {
+			rel = "./" + strings.TrimPrefix(rel, "./")
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			args = append(args, rel)
+		}
+	}
+	if len(seen) == 0 {
+		return ParseCompilerDiagnostics(strings.NewReader("")), nil
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, runErr := cmd.CombinedOutput()
+	cf := ParseCompilerDiagnostics(strings.NewReader(string(out)))
+	if runErr != nil {
+		if len(out) == 0 {
+			// Nothing parsed and nothing to parse: the tool itself failed.
+			return nil, fmt.Errorf("compiler harvest: %v", runErr)
+		}
+		for _, l := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			// Keep compile errors (not diagnostics) for the caller to surface.
+			if l == "" || l[0] == '#' || l[0] == ' ' || l[0] == '\t' {
+				continue
+			}
+			if _, ok := parseDiagnosticLine(l); ok || benignDiagnostic(l) {
+				continue
+			}
+			cf.BuildErrors = append(cf.BuildErrors, l)
+		}
+	}
+	return cf, nil
+}

@@ -141,20 +141,23 @@ func (p *Program) fixWriteSets(pkgs []*Package) {
 	}
 }
 
-// analyzeWrites recomputes one function's write facts against the current
-// global state and reports whether the facts other functions consume
-// (paramStores, retOrigins) changed.
-func (p *Program) analyzeWrites(f wsFunc) bool {
+// newOriginWalker builds the per-function aliasing state (parameter bits
+// plus the local-aliasing fixpoint) shared by the write-set pass and ad-hoc
+// origin queries. Returns nil for bodiless or signature-less functions.
+func (p *Program) newOriginWalker(pkg *Package, fn *types.Func, fd *ast.FuncDecl) *wsWalker {
+	if fd == nil || fd.Body == nil {
+		return nil
+	}
 	w := &wsWalker{
 		prog:   p,
-		pkg:    f.pkg,
+		pkg:    pkg,
 		params: map[*types.Var]int{},
 		locals: map[*types.Var]origin{},
 		facts:  &writeFacts{paramStores: map[int][]StoreSite{}},
 	}
-	sig, _ := f.fn.Type().(*types.Signature)
+	sig, _ := fn.Type().(*types.Signature)
 	if sig == nil {
-		return false
+		return nil
 	}
 	idx := 0
 	if r := sig.Recv(); r != nil {
@@ -171,10 +174,33 @@ func (p *Program) analyzeWrites(f wsFunc) bool {
 	// so repeating the walk until nothing moves handles any statement order.
 	for {
 		w.changedLocals = false
-		ast.Inspect(f.fd.Body, w.visitAssign)
+		ast.Inspect(fd.Body, w.visitAssign)
 		if !w.changedLocals {
 			break
 		}
+	}
+	return w
+}
+
+// ExprAliasesGraph reports whether the expression, evaluated inside fd, may
+// alias CSR graph backing memory under the origin lattice — the perf rules
+// use it to note that a slice's length is loop-invariant because shared
+// graphs are immutable (see graphmutation.go).
+func (p *Program) ExprAliasesGraph(pkg *Package, fn *types.Func, fd *ast.FuncDecl, e ast.Expr) bool {
+	if p.writes == nil || fn == nil {
+		return false
+	}
+	w := p.newOriginWalker(pkg, fn, fd)
+	return w != nil && w.exprOrigin(e)&originGraph != 0
+}
+
+// analyzeWrites recomputes one function's write facts against the current
+// global state and reports whether the facts other functions consume
+// (paramStores, retOrigins) changed.
+func (p *Program) analyzeWrites(f wsFunc) bool {
+	w := p.newOriginWalker(f.pkg, f.fn, f.fd)
+	if w == nil {
+		return false
 	}
 	w.collectStores(f.fd.Body)
 

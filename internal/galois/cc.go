@@ -114,8 +114,24 @@ func searchRow(index []int64, e int64) int {
 }
 
 // unionCAS hooks the higher component root onto the lower with CAS loops
-// (identical semantics to the GAP reference's Link).
+// (identical semantics to the GAP reference's Link). The two loads and the
+// equality test are the per-edge fast path — once components converge nearly
+// every call sees equal labels — and fit the inline budget; the CAS loop
+// lives out of line in unionCASSlow, which re-loads under its own loop
+// anyway.
 func unionCAS(u, v graph.NodeID, comp []graph.NodeID) {
+	if atomic.LoadInt32(&comp[u]) != atomic.LoadInt32(&comp[v]) {
+		unionCASSlow(u, v, comp)
+	}
+}
+
+// unionCASSlow repeatedly hooks the higher root onto the lower one with CAS.
+// Kept out of line so unionCAS stays under the inline budget; the loads race
+// with concurrent hooks either way, and the loop revalidates before every
+// CAS.
+//
+//go:noinline
+func unionCASSlow(u, v graph.NodeID, comp []graph.NodeID) {
 	p1 := atomic.LoadInt32(&comp[u])
 	p2 := atomic.LoadInt32(&comp[v])
 	for p1 != p2 {

@@ -137,9 +137,10 @@ func ForEachRounds(exec *par.Machine, workers int, initial []graph.NodeID, op fu
 		next := &bag{}
 		var pending atomic.Int64 // unused for termination here, but Ctx needs it
 		exec.ForWorker(workers, workers, func(_, _, _ int) {
+			//gapvet:ignore escape-in-kernel -- one context per worker per round: region setup, amortized over the frontier's chunks
 			ctx := &Ctx{local: chunkPool.Get().(*chunk), pending: &pending}
 			ctx.local.n = 0
-			//gapvet:ignore alloc-in-timed-region -- one spill closure per worker slot: per-worker setup, not per-element churn
+			//gapvet:ignore alloc-in-timed-region,escape-in-kernel -- one spill closure per worker slot: per-worker setup, not per-element churn
 			ctx.spill = func(c *chunk) { next.put(c) }
 			for {
 				if tok.Cancelled() {
@@ -223,6 +224,7 @@ type obim struct {
 func (o *obim) level(p int) *bag {
 	o.mu.Lock()
 	for p >= len(o.levels) {
+		//gapvet:ignore escape-in-kernel -- one bag per priority level for the scheduler's lifetime; the slice only grows
 		o.levels = append(o.levels, &bag{})
 	}
 	b := o.levels[p]

@@ -77,6 +77,16 @@ func bulkSSSP(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.
 	seed.n = 1
 	level(0).put(seed)
 
+	// Per-worker scratch reused across every bulk pass: the tagged-chunk
+	// collector and the partial-chunk map are allocated once per search, not
+	// once per pass, and drained back to empty at each barrier.
+	results := make([]*priorityChunks, workers)
+	locals := make([]map[int]*chunk, workers)
+	for w := range results {
+		results[w] = &priorityChunks{tagged: map[int][]*chunk{}}
+		locals[w] = map[int]*chunk{}
+	}
+
 	for b := 0; b < len(buckets); b++ {
 		lo := kernel.Dist(b) * delta
 		hi := lo + delta
@@ -86,16 +96,16 @@ func bulkSSSP(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.
 			}
 			// One bulk-synchronous pass over the bucket's current chunks.
 			work := drainBag(buckets[b], nil)
-			results := make([]*priorityChunks, workers)
 			exec.ForWorker(len(work), workers, func(w, loI, hiI int) {
-				out := &priorityChunks{tagged: map[int][]*chunk{}}
-				local := map[int]*chunk{}
+				out := results[w]
+				local := locals[w]
 				for i := loI; i < hiI; i++ {
 					u := work[i]
 					du := atomic.LoadInt32(&dist[u])
 					if du < lo || du >= hi {
 						continue // settled earlier or migrated buckets
 					}
+					//gapvet:ignore inline-miss -- relaxEdges loops over u's whole edge list: call overhead is amortized per edge, and splitting it would split that loop
 					relaxEdges(g, dist, u, func(v graph.NodeID, nd kernel.Dist) {
 						p := int(nd / delta)
 						lc := local[p]
@@ -118,18 +128,18 @@ func bulkSSSP(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.
 				}
 				for p, lc := range local {
 					out.putTagged(p, lc)
+					delete(local, p)
 				}
-				results[w] = out
 			})
-			// Barrier: merge per-worker tagged chunks into the global buckets.
+			// Barrier: merge per-worker tagged chunks into the global buckets,
+			// truncating each tag's slice in place so the next pass reuses its
+			// capacity.
 			for _, out := range results {
-				if out == nil {
-					continue
-				}
 				for p, cs := range out.tagged {
 					for _, c := range cs {
 						level(p).put(c)
 					}
+					out.tagged[p] = cs[:0]
 				}
 			}
 		}

@@ -28,6 +28,10 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 	depth := make([]int32, n)
 	sigma := make([]float64, n)
 	delta := make([]float64, n)
+	// One level-gathering appender for all sources: bcForward's chunk
+	// closures capture the pointer by value, so no per-source (let alone
+	// per-level) heap cell is allocated.
+	var sink chunkAppender
 
 	for _, src := range sources {
 		exec.ForBlocked(n, workers, func(lo, hi int) {
@@ -42,7 +46,7 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 		sigma[src] = 1
 
 		// Forward phase: level-synchronous parallel BFS capturing each level.
-		levels := bcForward(exec, g, src, depth, workers)
+		levels := bcForward(exec, g, src, depth, workers, &sink)
 
 		// Sigma phase: per level (in order), each vertex pulls path counts
 		// from in-neighbors one level up. Writes are owner-only.
@@ -102,19 +106,21 @@ func Brandes(g *graph.Graph, sources []graph.NodeID, opt kernel.Options) []float
 }
 
 // bcForward runs a push-based parallel BFS from src, assigning depths and
-// returning the vertices of each level (level 0 is [src]).
-func bcForward(exec *par.Machine, g *graph.Graph, src graph.NodeID, depth []int32, workers int) [][]graph.NodeID {
+// returning the vertices of each level (level 0 is [src]). The appender is
+// caller-owned and the per-level frontier is captured by value, so a round
+// allocates nothing beyond its chunk buffers.
+func bcForward(exec *par.Machine, g *graph.Graph, src graph.NodeID, depth []int32, workers int, sink *chunkAppender) [][]graph.NodeID {
 	levels := [][]graph.NodeID{{src}}
 	current := levels[0]
-	var mu chunkAppender
 	for len(current) > 0 {
 		d := int32(len(levels))
-		mu.reset()
-		exec.ForDynamic(len(current), 64, workers, func(lo, hi int) {
+		cur := current // read-only in the closure: captured by value
+		sink.reset()
+		exec.ForDynamic(len(cur), 64, workers, func(lo, hi int) {
 			//gapvet:ignore alloc-in-timed-region -- GAP QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 			local := make([]graph.NodeID, 0, 256)
 			for i := lo; i < hi; i++ {
-				u := current[i]
+				u := cur[i]
 				for _, v := range g.OutNeighbors(u) {
 					if atomic.LoadInt32(&depth[v]) < 0 &&
 						atomic.CompareAndSwapInt32(&depth[v], -1, d) {
@@ -122,9 +128,9 @@ func bcForward(exec *par.Machine, g *graph.Graph, src graph.NodeID, depth []int3
 					}
 				}
 			}
-			mu.flush(local)
+			sink.flush(local)
 		})
-		next := mu.take()
+		next := sink.take()
 		if len(next) == 0 {
 			break
 		}

@@ -38,6 +38,9 @@ func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID 
 
 	edgesToCheck := g.NumEdges()
 	scoutCount := g.OutDegree(src)
+	// One scout accumulator for the whole search: tdStep's chunk closures
+	// capture the pointer by value, so no per-round heap cell is allocated.
+	var scout atomic.Int64
 
 	for !queue.Empty() {
 		if opt.Cancelled() {
@@ -70,7 +73,7 @@ func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID 
 			scoutCount = 1
 		} else {
 			edgesToCheck -= scoutCount
-			scoutCount = tdStep(exec, g, parent, queue, workers)
+			scoutCount = tdStep(exec, g, parent, queue, workers, &scout)
 			queue.SlideWindow()
 		}
 	}
@@ -81,10 +84,11 @@ func DOBFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID 
 // unvisited out-neighbors with a CAS on the parent array, appending winners
 // to the next window through per-chunk local buffers (the GAP QueueBuffer).
 // It returns the total out-degree of the newly visited vertices (the scout
-// count driving the direction heuristic).
-func tdStep(exec *par.Machine, g *graph.Graph, parent []graph.NodeID, queue *graph.SlidingQueue, workers int) int64 {
+// count driving the direction heuristic). The accumulator is caller-owned so
+// the chunk closure captures only a pointer, not a per-call heap cell.
+func tdStep(exec *par.Machine, g *graph.Graph, parent []graph.NodeID, queue *graph.SlidingQueue, workers int, scout *atomic.Int64) int64 {
 	frontier := queue.Frontier()
-	var scout atomic.Int64
+	scout.Store(0)
 	exec.ForDynamic(len(frontier), 64, workers, func(lo, hi int) {
 		//gapvet:ignore alloc-in-timed-region -- GAP QueueBuffer idiom: one buffer per 64-vertex chunk, amortized over the chunk's edges
 		local := make([]graph.NodeID, 0, 256)

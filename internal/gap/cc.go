@@ -69,10 +69,24 @@ func Afforest(g *graph.Graph, opt kernel.Options) []graph.NodeID {
 	return comp
 }
 
-// link unions the components of u and v by repeatedly hooking the higher
-// root onto the lower one with CAS (the lock-free union of Afforest and
-// modern Shiloach-Vishkin variants).
+// link unions the components of u and v. The two loads and the equality
+// test are the per-edge fast path — once components converge nearly every
+// call sees equal labels — and fit the inline budget; the CAS hook loop
+// lives out of line in linkSlow, which re-loads under its own loop anyway.
 func link(u, v graph.NodeID, comp []graph.NodeID) {
+	if atomic.LoadInt32(&comp[u]) != atomic.LoadInt32(&comp[v]) {
+		linkSlow(u, v, comp)
+	}
+}
+
+// linkSlow repeatedly hooks the higher root onto the lower one with CAS
+// (the lock-free union of Afforest and modern Shiloach-Vishkin variants).
+// Kept out of line so link stays under the inline budget; the loads race
+// with concurrent hooks either way, and the loop revalidates before every
+// CAS.
+//
+//go:noinline
+func linkSlow(u, v graph.NodeID, comp []graph.NodeID) {
 	p1 := atomic.LoadInt32(&comp[u])
 	p2 := atomic.LoadInt32(&comp[v])
 	for p1 != p2 {

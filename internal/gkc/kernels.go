@@ -58,8 +58,12 @@ func pagerank(exec *par.Machine, g *graph.Graph, workers int) []float64 {
 					s3 += math.Float64frombits(atomic.LoadUint64(&contrib[neigh[k+3]]))
 				}
 				sum := s0 + s1 + s2 + s3
-				for ; k < len(neigh); k++ {
-					sum += math.Float64frombits(atomic.LoadUint64(&contrib[neigh[k]]))
+				// Range over the tail slice: a range loop needs no bounds
+				// check on neigh (indexing with the unrolled loop's exit k
+				// defeats the prove pass, which loses k's non-negativity
+				// across the k += 4 loop).
+				for _, w := range neigh[k:] {
+					sum += math.Float64frombits(atomic.LoadUint64(&contrib[w]))
 				}
 				next := base + danglingShare + kernel.PRDamping*sum
 				d += math.Abs(next - ranks[v])
@@ -92,15 +96,18 @@ func hybridSV(exec *par.Machine, g *graph.Graph, workers int) []graph.NodeID {
 	if n == 0 {
 		return comp
 	}
+	// One change flag for every sweep: hookSweep's chunk closures capture the
+	// pointer by value, so no per-sweep heap cell is allocated.
+	var sweepChanged atomic.Bool
 	for {
 		if exec.Interrupted() {
 			return comp
 		}
 		// Hooking sweep: linear scan of the out-CSR (and in-CSR for directed
 		// graphs) — sequential memory traffic, the "SIMD-friendly" layout.
-		changed := hookSweep(exec, g, comp, workers, false)
+		changed := hookSweep(exec, g, comp, workers, false, &sweepChanged)
 		if g.Directed() {
-			if hookSweep(exec, g, comp, workers, true) {
+			if hookSweep(exec, g, comp, workers, true, &sweepChanged) {
 				changed = true
 			}
 		}
@@ -125,10 +132,11 @@ func hybridSV(exec *par.Machine, g *graph.Graph, workers int) []graph.NodeID {
 }
 
 // hookSweep hooks every edge's higher root under the lower one, returning
-// whether anything changed.
-func hookSweep(exec *par.Machine, g *graph.Graph, comp []graph.NodeID, workers int, useIn bool) bool {
+// whether anything changed. The flag is caller-owned so the chunk closure
+// captures only a pointer, not a per-sweep heap cell.
+func hookSweep(exec *par.Machine, g *graph.Graph, comp []graph.NodeID, workers int, useIn bool, changed *atomic.Bool) bool {
 	n := int(g.NumNodes())
-	var changed atomic.Bool
+	changed.Store(false)
 	exec.ForBlocked(n, workers, func(lo, hi int) {
 		localChanged := false
 		for u := lo; u < hi; u++ {

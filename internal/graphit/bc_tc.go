@@ -25,6 +25,7 @@ func bc(exec *par.Machine, g *graph.Graph, sources []graph.NodeID, sched Schedul
 	delta := make([]float64, n)
 
 	for _, src := range sources {
+		src := src // assigned-once copy: the phase closures capture it by value, not as a heap cell
 		exec.ForBlocked(n, workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				//gapvet:ignore atomic-plain-mix -- reset phase: barrier-separated from the forward phase's CAS on depth

@@ -17,6 +17,11 @@ type VertexSet struct {
 	list   []graph.NodeID
 	bits   *graph.Bitmap
 	count  int64
+	// collect is scratch for EdgesetApplyPush's gather: keeping it in the
+	// (already heap-allocated) result set means the traversal closures
+	// capture one pointer instead of forcing a separate accumulator cell to
+	// the heap on every sweep.
+	collect chunkCollect
 }
 
 // NewVertexSet returns an empty vertex set of the given layout.
@@ -112,7 +117,9 @@ func EdgesetApplyPush(exec *par.Machine, g *graph.Graph, frontier *VertexSet, la
 		})
 		return out
 	}
-	var mu chunkCollect
+	// The collector lives inside the result set, which is heap-bound anyway:
+	// the closure captures only the out pointer, so a sweep allocates no
+	// extra cell for it.
 	exec.ForDynamic(len(src.list), 64, workers, func(lo, hi int) {
 		var local []graph.NodeID
 		for i := lo; i < hi; i++ {
@@ -123,9 +130,9 @@ func EdgesetApplyPush(exec *par.Machine, g *graph.Graph, frontier *VertexSet, la
 				}
 			}
 		}
-		mu.add(local)
+		out.collect.add(local)
 	})
-	out.list = mu.take()
+	out.list = out.collect.take()
 	out.count = int64(len(out.list))
 	return out
 }
@@ -136,8 +143,9 @@ func EdgesetApplyPush(exec *par.Machine, g *graph.Graph, frontier *VertexSet, la
 func EdgesetApplyPull(exec *par.Machine, g *graph.Graph, frontier *VertexSet, workers int, cond func(v graph.NodeID) bool, applyTo func(u, v graph.NodeID) bool) *VertexSet {
 	fb := frontier.ToBitvector()
 	out := NewVertexSet(frontier.n, Bitvector)
-	var count atomic.Int64
-	exec.ForBlocked(int(frontier.n), workers, func(lo, hi int) {
+	// ReduceInt64 carries the per-chunk counts through the scheduler's own
+	// reduction, so the sweep captures no accumulator cell of its own.
+	out.count = exec.ReduceInt64(int(frontier.n), workers, func(lo, hi int) int64 {
 		var local int64
 		for vi := lo; vi < hi; vi++ {
 			v := graph.NodeID(vi)
@@ -152,9 +160,8 @@ func EdgesetApplyPull(exec *par.Machine, g *graph.Graph, frontier *VertexSet, wo
 				}
 			}
 		}
-		count.Add(local)
+		return local
 	})
-	out.count = count.Load()
 	return out
 }
 
@@ -174,6 +181,10 @@ func (c *chunkCollect) add(local []graph.NodeID) {
 }
 
 func (c *chunkCollect) take() []graph.NodeID { return c.out }
+
+// reset detaches the collector from its previous round's slice (which the
+// caller keeps as the new frontier).
+func (c *chunkCollect) reset() { c.out = nil }
 
 // spinMutex is a tiny test-and-set lock; the critical sections here are a
 // few appends, far shorter than a sync.Mutex slow path.

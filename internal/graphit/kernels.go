@@ -26,6 +26,9 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, sched Schedule, wo
 	edgesToCheck := g.NumEdges()
 	scout := g.OutDegree(src)
 	const alpha, beta = 15, 18
+	// One scout accumulator for the whole search: the apply closure captures
+	// the pointer by value, so no per-round heap cell is allocated.
+	newScout := new(atomic.Int64)
 
 	for frontier.Size() > 0 {
 		if exec.Interrupted() {
@@ -55,7 +58,7 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, sched Schedule, wo
 			scout = 1
 		} else {
 			edgesToCheck -= scout
-			var newScout atomic.Int64
+			newScout.Store(0)
 			frontier = EdgesetApplyPush(exec, g, frontier, sched.Frontier, workers, func(u, v graph.NodeID) bool {
 				if atomic.LoadInt32(&parent[v]) < 0 &&
 					atomic.CompareAndSwapInt32(&parent[v], -1, u) {
@@ -113,7 +116,8 @@ func sssp(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.Dist
 		}
 		lo := kernel.Dist(bucket) * delta
 		hi := lo + delta
-		exec.ForWorker(len(frontier), workers, func(wid, lo2, hi2 int) {
+		fr, b0 := frontier, bucket // read-only in the closure: captured by value
+		exec.ForWorker(len(fr), workers, func(wid, lo2, hi2 int) {
 			w := &wb[wid]
 			relax := func(u graph.NodeID) {
 				du := atomic.LoadInt32(&dist[u])
@@ -135,17 +139,17 @@ func sssp(exec *par.Machine, g *graph.Graph, src graph.NodeID, delta kernel.Dist
 				}
 			}
 			for i := lo2; i < hi2; i++ {
-				relax(frontier[i])
+				relax(fr[i])
 			}
 			if sched.BucketFusion {
 				// Bucket fusion: keep draining our own current-priority bin
 				// while it stays small.
-				for bucket < len(w.bins) {
-					batch := w.bins[bucket]
+				for b0 < len(w.bins) {
+					batch := w.bins[b0]
 					if len(batch) == 0 || len(batch) > fusionThreshold {
 						break
 					}
-					w.bins[bucket] = nil
+					w.bins[b0] = nil
 					for _, u := range batch {
 						relax(u)
 					}
@@ -209,15 +213,20 @@ func cc(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []graph.
 		frontier[i] = graph.NodeID(i)
 	}
 
+	// One collector for every propagation round: the chunk closures capture
+	// the pointer by value, so a round allocates no accumulator cell.
+	collect := new(chunkCollect)
+
 	for len(frontier) > 0 {
 		if exec.Interrupted() {
 			return comp
 		}
-		var collect chunkCollect
-		exec.ForDynamic(len(frontier), 128, workers, func(lo, hi int) {
+		collect.reset()
+		fr := frontier // read-only in the closure: captured by value
+		exec.ForDynamic(len(fr), 128, workers, func(lo, hi int) {
 			var local []graph.NodeID
 			for i := lo; i < hi; i++ {
-				u := frontier[i]
+				u := fr[i]
 				cu := atomic.LoadInt32(&comp[u])
 				for _, v := range g.OutNeighbors(u) {
 					local = propagateMin(comp, cu, v, local)
@@ -278,14 +287,17 @@ func pr(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []float6
 		if exec.Interrupted() {
 			return ranks
 		}
+		// Per-iteration copies: the sweep closures capture the slice headers
+		// by value, so the swapped outer variables never become heap cells.
+		r, nx := ranks, next
 		dangling := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for u := lo; u < hi; u++ {
 				if deg := g.OutDegree(graph.NodeID(u)); deg > 0 {
-					contrib[u] = ranks[u] / float64(deg)
+					contrib[u] = r[u] / float64(deg)
 				} else {
 					contrib[u] = 0
-					d += ranks[u]
+					d += r[u]
 				}
 			}
 			return d
@@ -295,7 +307,7 @@ func pr(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []float6
 		if segments != nil {
 			exec.ForBlocked(n, workers, func(lo, hi int) {
 				for v := lo; v < hi; v++ {
-					next[v] = 0
+					nx[v] = 0
 				}
 			})
 			for _, seg := range segments {
@@ -305,13 +317,13 @@ func pr(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []float6
 						for _, u := range seg.neigh[seg.index[v]:seg.index[v+1]] {
 							sum += contrib[u]
 						}
-						next[v] += sum
+						nx[v] += sum
 					}
 				})
 			}
 			exec.ForBlocked(n, workers, func(lo, hi int) {
 				for v := lo; v < hi; v++ {
-					next[v] = base + danglingShare + kernel.PRDamping*next[v]
+					nx[v] = base + danglingShare + kernel.PRDamping*nx[v]
 				}
 			})
 		} else {
@@ -321,14 +333,14 @@ func pr(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []float6
 					for _, u := range g.InNeighbors(graph.NodeID(v)) {
 						sum += contrib[u]
 					}
-					next[v] = base + danglingShare + kernel.PRDamping*sum
+					nx[v] = base + danglingShare + kernel.PRDamping*sum
 				}
 			})
 		}
 		delta := exec.ReduceFloat64(n, workers, func(lo, hi int) float64 {
 			var d float64
 			for v := lo; v < hi; v++ {
-				d += math.Abs(next[v] - ranks[v])
+				d += math.Abs(nx[v] - r[v])
 			}
 			return d
 		})

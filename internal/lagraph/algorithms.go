@@ -232,6 +232,14 @@ func betweenness(exec *par.Machine, m *matrices, sources []grb.Index, workers in
 		levels[r] = append(levels[r], lvl)
 	}
 
+	// Per-root complement masks built once for the whole forward phase: each
+	// wraps the live visited[r] bitset, so in-place updates flow through and
+	// the mask factory allocates nothing on the workers' hot path.
+	fwdMasks := make([]*grb.Mask, k)
+	for r := range fwdMasks {
+		fwdMasks[r] = grb.NewMask(visited[r], true)
+	}
+
 	// Forward: one batched product per global level until every root's
 	// frontier is empty.
 	for frontier.NVals() > 0 {
@@ -239,7 +247,7 @@ func betweenness(exec *par.Machine, m *matrices, sources []grb.Index, workers in
 			return scores // partial scores; the harness discards cancelled trials
 		}
 		next := grb.DenseMxM(exec, frontier, m.a, func(r int) *grb.Mask {
-			return grb.NewMask(visited[r], true)
+			return fwdMasks[r]
 		}, workers)
 		for r := 0; r < k; r++ {
 			lvl := grb.NewBitset(n)
@@ -277,9 +285,17 @@ func betweenness(exec *par.Machine, m *matrices, sources []grb.Index, workers in
 	// an O(n/64) bitset per row per depth (it is never written, so sharing it
 	// across rows and depths is safe).
 	emptyMask := grb.NewMask(grb.NewBitset(n), false)
+	// Per-root parent-level masks, rebuilt sequentially each depth so the
+	// mask factory allocates nothing on the workers' hot path.
+	bwdMasks := make([]*grb.Mask, k)
 	for d := maxDepth - 1; d >= 1; d-- {
 		w := grb.NewDenseMatrix(k, n)
 		for r := 0; r < k; r++ {
+			if d-1 < len(levels[r]) {
+				bwdMasks[r] = grb.NewMask(levels[r][d-1], false)
+			} else {
+				bwdMasks[r] = emptyMask // all-absent: allows nothing
+			}
 			if d >= len(levels[r]) {
 				continue
 			}
@@ -292,10 +308,7 @@ func betweenness(exec *par.Machine, m *matrices, sources []grb.Index, workers in
 			}
 		}
 		t := grb.DenseMxM(exec, w, m.at, func(r int) *grb.Mask {
-			if d-1 < len(levels[r]) {
-				return grb.NewMask(levels[r][d-1], false)
-			}
-			return emptyMask // all-absent: allows nothing
+			return bwdMasks[r]
 		}, workers)
 		for r := 0; r < k; r++ {
 			pres := t.RowStructure(r)

@@ -177,6 +177,7 @@ func (m *Machine) Stats() Stats {
 func (m *Machine) worker(id int) {
 	defer m.wg.Done()
 	for r := range m.work {
+		//gapvet:ignore inline-miss -- participate runs once per dispatched region (its body loops over the region's slots); call overhead is region setup, not per-element cost
 		r.participate(&m.shards[id])
 	}
 }
@@ -395,6 +396,7 @@ func (m *Machine) ForDynamic(n, chunk, workers int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	//gapvet:ignore closure-capture-hot -- one work-stealing cursor per dynamic region: the cell is the region's shared state, amortized over all its chunks
 	var next atomic.Int64
 	counts := make([]int64, active)
 	m.dispatch(active, func(slot int) {

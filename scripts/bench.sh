@@ -20,8 +20,13 @@
 #      (GAPBENCH_SCALE, default 10). Road's diameter makes BFS run hundreds
 #      of sliding-queue rounds per traversal, so this cell exercises the
 #      machine exactly where per-round dispatch cost shows up end to end.
+#   5. The perf-lint hot-loop cells — BFS, PR, and CC on Kron for the three
+#      frameworks whose inner loops the `gapvet -perf` findings rewrote
+#      (GAP, GraphIt, SuiteSparse/LAGraph): hoisted per-round heap cells,
+#      fast-path inline splits, and tail-range BCE fixes all land inside
+#      these kernels, so their timings are the deltas ISSUE 7 records.
 #
-# Output: BENCH_PR4.json — one JSON object per benchmark line, fields
+# Output: BENCH_PR7.json — one JSON object per benchmark line, fields
 # {bench, ns_per_op, extra}, plus the raw `go test -bench` text on stderr so
 # a human watching CI still sees the familiar table.
 
@@ -29,7 +34,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR7.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -51,6 +56,9 @@ run_bench 'BenchmarkAblationRegionLaunch'
 
 printf '\n== round-heavy suite cell: GAP/BFS/Road\n' >&2
 run_bench 'BenchmarkSuite/Baseline/BFS/Road/GAP$'
+
+printf '\n== perf-lint hot-loop cells: BFS|PR|CC on Kron, GAP|GraphIt|SuiteSparse\n' >&2
+run_bench 'BenchmarkSuite/Baseline/(BFS|PR|CC)/Kron/(GAP|GraphIt|SuiteSparse)$'
 
 # Fold the benchmark lines into JSON. awk keeps the script dependency-free:
 # each line "BenchmarkX/sub-8  1  12345 ns/op [extra...]" becomes one object.

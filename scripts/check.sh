@@ -7,28 +7,34 @@
 #   3. gapvet ./...                   this repo's own invariants (see DESIGN.md);
 #      asserted to exit 0 in under 60 seconds — the analysis is part of the
 #      inner loop, so its cost is a gated budget, not a trend
-#   4. go test ./...                  the full tier-1 suite
-#   5. go test -race -short <tier>    the race-detector smoke tier: the
+#   4. gapvet -perf ./...             the compiler-assisted perf-lint tier
+#      (DESIGN.md §8 "Compiler-facts join"): harvests escape/inline/BCE
+#      diagnostics from a -gcflags compiler run and joins them against the
+#      timed-region dataflow. The harvest invokes the compiler, so this tier
+#      carries its own 120-second budget, separate from the pure-AST tier —
+#      a cold -gcflags build cache pays once, warm runs land in seconds
+#   5. go test ./...                  the full tier-1 suite
+#   6. go test -race -short <tier>    the race-detector smoke tier: the
 #      parallel substrate (par), the most race-prone executor (galois), and
 #      the harness that drives every framework (core), on tiny graphs so the
 #      whole sweep finishes in seconds.
-#   6. go test -tags=grbcheck <tier>  the grbcheck sanitizer tier: rebuilds
+#   7. go test -tags=grbcheck <tier>  the grbcheck sanitizer tier: rebuilds
 #      the GraphBLAS substrate with runtime invariant assertions enabled and
 #      re-runs grb plus its consumer (lagraph) at -short scale, so a
 #      structurally corrupt vector/matrix panics at the operation boundary
 #      that received it (see DESIGN.md "Runtime sanitizer").
-#   7. go test -tags=graphguard <tier> the graphguard sanitizer tier: rebuilds
+#   8. go test -tags=graphguard <tier> the graphguard sanitizer tier: rebuilds
 #      with CSR seal checks armed and re-runs graph plus the runner, so a
 #      kernel that mutates shared graph memory panics at the trial boundary
 #      naming the corrupted array (see DESIGN.md §9 "Graph seal").
-#   8. go test -tags=chaos -short <tier> the fault-injection tier: rebuilds
+#   9. go test -tags=chaos -short <tier> the fault-injection tier: rebuilds
 #      the chaos injector armed and runs the end-to-end fault matrix
 #      (DESIGN.md §9): injected panics, stalls, hangs, and output
 #      corruption must surface as exactly the right per-cell status while
 #      the suite, its journal, and its resume path keep working. A second
 #      pass with both chaos and graphguard armed closes the loop: the
 #      CorruptGraph fault must be caught by the seal check as Panicked.
-#   9. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
+#  10. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
 #      benchmark (suite cells, ablations, and the ingest-pipeline
 #      Build/Transpose groups — scripts/bench.sh's evidence included)
 #      runs exactly one iteration at the test scale, so a
@@ -58,6 +64,16 @@ if [ "$gapvet_elapsed" -ge 60 ]; then
     exit 1
 fi
 echo "gapvet clean in ${gapvet_elapsed}s"
+
+say "gapvet -perf ./... (compiler harvest included; must exit 0 in <120s)"
+perf_start=$(date +%s)
+go run ./cmd/gapvet -perf ./...
+perf_elapsed=$(( $(date +%s) - perf_start ))
+if [ "$perf_elapsed" -ge 120 ]; then
+    echo "gapvet -perf took ${perf_elapsed}s, budget is 120s" >&2
+    exit 1
+fi
+echo "gapvet -perf clean in ${perf_elapsed}s"
 
 say "go test ./..."
 go test ./...
