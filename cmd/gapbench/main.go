@@ -10,6 +10,8 @@
 //	gapbench -table V  -scale 12           # speedup heat map vs GAP
 //	gapbench -table all -csv results.csv   # everything + CSV export
 //	gapbench -graphs Road,Kron -kernels BFS,SSSP -frameworks GAP,Galois
+//	gapbench -graphfile g/kron-s13-seed42.sg,g/road-s14-seed42.sg  # mmap saved graphs
+//	gapbench -savegraphs ./graphs          # save every input as format-v2 .sg
 package main
 
 import (
@@ -39,6 +41,8 @@ func main() {
 		csvPath    = flag.String("csv", "", "write complete results CSV to this path")
 		mdPath     = flag.String("md", "", "write Tables IV+V as Markdown to this path")
 		graphDir   = flag.String("graphdir", "", "cache directory for serialized graphs (generate once, reload after)")
+		graphFiles = flag.String("graphfile", "", "comma-separated serialized graph files to benchmark instead of generating the suite (format-v2 files load zero-copy via mmap)")
+		saveGraphs = flag.String("savegraphs", "", "save every input graph to this directory as format-v2 .sg files")
 		noVerify   = flag.Bool("noverify", false, "skip oracle verification of results")
 		quiet      = flag.Bool("q", false, "suppress per-cell progress lines")
 		timeout    = flag.Duration("timeout", 0, "per-trial deadline (0 = none); overruns mark the cell TimedOut instead of hanging the run")
@@ -51,13 +55,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gapbench: -resume requires -journal")
 		os.Exit(1)
 	}
-	if err := run(*tableFlag, *scale, *trials, *graphsFlag, *kernsFlag, *fwFlag, *modeFlag, *csvPath, *mdPath, *graphDir, !*noVerify, *quiet, *timeout, *journal, *resume); err != nil {
+	if err := run(*tableFlag, *scale, *trials, *graphsFlag, *kernsFlag, *fwFlag, *modeFlag, *csvPath, *mdPath, *graphDir, *graphFiles, *saveGraphs, !*noVerify, *quiet, *timeout, *journal, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "gapbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeSel, csvPath, mdPath, graphDir string, doVerify, quiet bool, timeout time.Duration, journal string, resume bool) error {
+func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeSel, csvPath, mdPath, graphDir, graphFiles, saveGraphs string, doVerify, quiet bool, timeout time.Duration, journal string, resume bool) error {
 	frameworks := core.Frameworks()
 	if fwCSV != "" {
 		var subset []kernel.Framework
@@ -103,20 +107,60 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 		return nil
 	}
 
-	if !quiet {
-		fmt.Fprintf(os.Stderr, "generating %d graphs at base scale %d...\n", len(specs), scale)
-	}
 	var inputs []*core.Input
+	defer func() {
+		for _, in := range inputs {
+			if err := in.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "gapbench: closing %s: %v\n", in.Spec.Name, err)
+			}
+		}
+	}()
 	var stats []graph.Stats
 	var names []string
-	for _, spec := range specs {
-		in, err := loadCached(spec, graphDir)
-		if err != nil {
+	if graphFiles != "" {
+		for _, path := range splitCSV(graphFiles) {
+			in, err := loadGraphFile(path)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, in)
+			names = append(names, in.Spec.Name)
+		}
+	} else {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "generating %d graphs at base scale %d...\n", len(specs), scale)
+		}
+		for _, spec := range specs {
+			in, err := loadCached(spec, graphDir)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, in)
+		}
+		for _, spec := range specs {
+			names = append(names, spec.Name)
+		}
+	}
+	if saveGraphs != "" {
+		if err := os.MkdirAll(saveGraphs, 0o755); err != nil {
 			return err
 		}
-		inputs = append(inputs, in)
-		names = append(names, spec.Name)
-		if wantTable("I") {
+		for _, in := range inputs {
+			path := filepath.Join(saveGraphs, core.GraphFileName(in.Spec, "sg"))
+			in.Graph.SetProvenance(in.Spec.Name, uint32(in.Spec.Scale), in.Spec.Seed)
+			if err := in.Graph.SaveSG(path); err != nil {
+				return err
+			}
+			if in.File == "" {
+				in.File = path
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "saved %s\n", path)
+			}
+		}
+	}
+	if wantTable("I") {
+		for _, in := range inputs {
 			stats = append(stats, graph.ComputeStats(in.Graph))
 		}
 	}
@@ -226,7 +270,8 @@ func splitCSV(s string) []string {
 }
 
 // loadCached loads a serialized graph from dir when present, generating and
-// caching it otherwise; with no dir it always generates.
+// caching it otherwise; with no dir it always generates. Cache files are
+// format v2 (.sg, mmap-loaded); legacy v1 .gapb caches stay readable.
 func loadCached(spec core.GraphSpec, dir string) (*core.Input, error) {
 	if dir == "" {
 		return core.LoadInput(spec)
@@ -234,16 +279,69 @@ func loadCached(spec core.GraphSpec, dir string) (*core.Input, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("%s-s%d-seed%d.gapb", strings.ToLower(spec.Name), spec.Scale, spec.Seed))
+	path := filepath.Join(dir, core.GraphFileName(spec, "sg"))
 	if g, err := graph.Load(path); err == nil {
-		return core.PrepareInput(spec, g), nil
+		in := core.PrepareInput(spec, g)
+		in.File = path
+		return in, nil
+	}
+	if legacy := filepath.Join(dir, core.GraphFileName(spec, "gapb")); fileExists(legacy) {
+		g, err := graph.Load(legacy)
+		if err != nil {
+			return nil, fmt.Errorf("loading cached %s: %w", legacy, err)
+		}
+		in := core.PrepareInput(spec, g)
+		in.File = legacy
+		return in, nil
 	}
 	in, err := core.LoadInput(spec)
 	if err != nil {
 		return nil, err
 	}
-	if err := in.Graph.Save(path); err != nil {
+	in.Graph.SetProvenance(spec.Name, uint32(spec.Scale), spec.Seed)
+	if err := in.Graph.SaveSG(path); err != nil {
 		return nil, fmt.Errorf("caching %s: %w", path, err)
 	}
+	in.File = path
 	return in, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// loadGraphFile mmap-loads one serialized graph and rebuilds its suite spec
+// from the provenance stamped in the file header (graph name selects the
+// suite's per-graph Delta and SourceSeed, scale and seed come from the file).
+func loadGraphFile(path string) (*core.Input, error) {
+	g, err := graph.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	name, provScale, provSeed := g.Provenance()
+	spec, err := specForName(name)
+	if err != nil {
+		_ = g.Close() // the load error is the one worth reporting
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	spec.Scale = int(provScale)
+	spec.Seed = provSeed
+	in := core.PrepareInput(spec, g)
+	in.File = path
+	return in, nil
+}
+
+// specForName finds the suite template (per-graph Delta, SourceSeed) for a
+// provenance graph name.
+func specForName(name string) (core.GraphSpec, error) {
+	if name == "" {
+		return core.GraphSpec{}, fmt.Errorf("file carries no provenance (regenerate it with graphgen)")
+	}
+	for _, s := range core.DefaultSuite(0) {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	return core.GraphSpec{}, fmt.Errorf("provenance graph %q is not a suite graph (have %v)", name, generate.Names)
 }

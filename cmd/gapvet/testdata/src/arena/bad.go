@@ -1,0 +1,47 @@
+// Package arena is a gapvet test fixture (never built): it retains
+// graph-derived views past Graph.Close in every way the arena-escape rule
+// tracks — a read after a direct close, a return escaping a deferred close,
+// and a struct-field retention in a closing function — plus one copy-first
+// control that must stay finding-free.
+package arena
+
+import "gapbench/internal/graph"
+
+// UseAfterClose reads a view after the arena was released.
+func UseAfterClose(g *graph.Graph) int {
+	ns := g.OutNeighbors(0)
+	_ = g.Close()
+	return int(ns[0])
+}
+
+// LeakRow returns a view that outlives the deferred unmap.
+func LeakRow(path string) []graph.NodeID {
+	g, err := graph.Load(path)
+	if err != nil {
+		return nil
+	}
+	defer func() { _ = g.Close() }()
+	return g.OutNeighbors(0)
+}
+
+// rowCache retains a view across the close.
+type rowCache struct{ row []graph.NodeID }
+
+func (c *rowCache) Fill(g *graph.Graph) {
+	c.row = g.OutNeighbors(0)
+	_ = g.Close()
+}
+
+// CopyRow is the clean control: copying before the close detaches the result
+// from the arena.
+func CopyRow(path string) []graph.NodeID {
+	g, err := graph.Load(path)
+	if err != nil {
+		return nil
+	}
+	defer func() { _ = g.Close() }()
+	ns := g.OutNeighbors(0)
+	own := make([]graph.NodeID, len(ns))
+	copy(own, ns)
+	return own
+}

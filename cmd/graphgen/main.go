@@ -4,6 +4,12 @@
 //
 //	graphgen -out ./graphs -scale 12          # all five benchmark graphs
 //	graphgen -out ./graphs -graph Road -scale 16 -seed 7
+//	graphgen -out ./graphs -scale 12 -layout degree   # degree-sorted layout
+//	graphgen -out ./graphs -scale 12 -format gapb     # legacy v1 files
+//
+// The default -format=sg writes format v2: one arena image behind a checksummed
+// header, which gapbench -graphfile / -graphdir loads back zero-copy via mmap.
+// -format=gapb keeps the v1 streaming codec for old tooling.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 
 	"gapbench/internal/core"
 	"gapbench/internal/generate"
+	"gapbench/internal/graph"
 )
 
 func main() {
@@ -23,16 +30,25 @@ func main() {
 		scale    = flag.Int("scale", 12, "base scale (log2 approximate vertex count)")
 		seed     = flag.Uint64("seed", 42, "generator seed")
 		oneGraph = flag.String("graph", "", "generate only this graph (default: the full five-graph suite)")
+		format   = flag.String("format", "sg", "file format: sg (v2, mmap-loadable) or gapb (legacy v1)")
+		layout   = flag.String("layout", "plain", "vertex layout: plain (generator order) or degree (descending degree)")
 	)
 	flag.Parse()
 
-	if err := run(*out, *scale, *seed, *oneGraph); err != nil {
+	if err := run(*out, *scale, *seed, *oneGraph, *format, *layout); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, scale int, seed uint64, oneGraph string) error {
+func run(out string, scale int, seed uint64, oneGraph, format, layoutName string) error {
+	if format != "sg" && format != "gapb" {
+		return fmt.Errorf("unknown -format %q (want sg or gapb)", format)
+	}
+	lay, err := graph.ParseLayout(layoutName)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -55,11 +71,28 @@ func run(out string, scale int, seed uint64, oneGraph string) error {
 		if err != nil {
 			return err
 		}
-		path := filepath.Join(out, fmt.Sprintf("%s-s%d.gapb", strings.ToLower(spec.Name), spec.Scale))
-		if err := g.Save(path); err != nil {
+		if lay == graph.LayoutDegree {
+			rg, _ := graph.DegreeRelabel(g)
+			if err := g.Close(); err != nil {
+				return err
+			}
+			g = rg
+		}
+		g.SetProvenance(spec.Name, uint32(spec.Scale), spec.Seed)
+		path := filepath.Join(out, core.GraphFileName(spec, format))
+		if format == "sg" {
+			err = g.SaveSG(path)
+		} else {
+			err = g.Save(path)
+		}
+		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8s n=%-9d m=%-10d -> %s\n", spec.Name, g.NumNodes(), g.NumEdgesUndirected(), path)
+		fmt.Printf("%-8s n=%-9d m=%-10d layout=%-6s -> %s\n",
+			spec.Name, g.NumNodes(), g.NumEdgesUndirected(), g.Layout(), path)
+		if err := g.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

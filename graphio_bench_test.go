@@ -1,0 +1,91 @@
+// graphio_bench_test.go: the build-once-load-many evidence for the arena
+// storage layer (DESIGN.md §3).
+//
+// BenchmarkGraphIO times the three ways a benchmark run can obtain the Kron
+// graph:
+//
+//   - Regenerate: generator + counting-sort build from scratch — what every
+//     run pays without serialized graphs;
+//   - LoadV1: the legacy streaming codec (decode-and-copy into a heap
+//     arena);
+//   - MmapV2: the format-v2 zero-copy path — header validation plus an mmap,
+//     O(header) regardless of graph size.
+//
+// The input scale is GAPBENCH_MMAP_SCALE (log2 vertices, default 12 so the
+// check.sh bit-rot tier stays cheap); scripts/bench.sh adds a scale-20 cell
+// where the mmap-vs-regenerate gap is the headline number.
+package gapbench_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/graph"
+)
+
+func mmapBenchScale() int {
+	if s := os.Getenv("GAPBENCH_MMAP_SCALE"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 4 && v <= 24 {
+			return v
+		}
+	}
+	return 12
+}
+
+func BenchmarkGraphIO(b *testing.B) {
+	scale := mmapBenchScale()
+	g, err := generate.ByName(generate.NameKron, scale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	v2 := filepath.Join(dir, "kron.sg")
+	v1 := filepath.Join(dir, "kron.gapb")
+	if err := g.SaveSG(v2); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Save(v1); err != nil {
+		b.Fatal(err)
+	}
+	arenaBytes := g.Arena().Size()
+	if err := g.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	name := func(kind string) string { return fmt.Sprintf("%s/Kron-%d", kind, scale) }
+	b.Run(name("Regenerate"), func(b *testing.B) {
+		b.SetBytes(arenaBytes)
+		for i := 0; i < b.N; i++ {
+			rg, err := generate.ByName(generate.NameKron, scale, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rg.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	loadBench := func(path string, wantMapped bool) func(*testing.B) {
+		return func(b *testing.B) {
+			b.SetBytes(arenaBytes)
+			for i := 0; i < b.N; i++ {
+				lg, err := graph.Load(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lg.Arena().Mapped() != wantMapped {
+					b.Fatalf("Mapped() = %v, want %v for %s", lg.Arena().Mapped(), wantMapped, path)
+				}
+				if err := lg.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run(name("LoadV1"), loadBench(v1, false))
+	b.Run(name("MmapV2"), loadBench(v2, true))
+}

@@ -90,6 +90,7 @@ func Analyzers() []*Analyzer {
 		AllocInTimedRegion,
 		SwallowedPanic,
 		GraphMutation,
+		ArenaEscape,
 		CancelLiveness,
 		EscapeInKernel,
 		ClosureCaptureHot,

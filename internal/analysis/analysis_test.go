@@ -114,7 +114,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 		"framework-isolation", "par-closure-race", "index-width",
 		"timed-region-purity", "unchecked-error",
 		"atomic-plain-mix", "lock-order", "alloc-in-timed-region",
-		"swallowed-panic", "graph-mutation", "cancel-liveness",
+		"swallowed-panic", "graph-mutation", "arena-escape", "cancel-liveness",
 		"escape-in-kernel", "closure-capture-hot", "bce-miss", "inline-miss",
 	}
 	if len(seen) != len(want) {

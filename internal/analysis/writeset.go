@@ -62,6 +62,9 @@ var graphAccessorSeeds = map[string]bool{
 	"RawIn":         true,
 	"RawOutWeights": true,
 	"RawInWeights":  true,
+	// Arena.Bytes exposes the raw storage block every CSR view is carved
+	// from; a write (or a retained alias) through it bypasses all of them.
+	"Bytes": true,
 }
 
 // StoreSite is one store through tracked (graph- or parameter-derived)
@@ -524,14 +527,20 @@ func (w *wsWalker) callOrigin(call *ast.CallExpr, result int) origin {
 }
 
 // isGraphAccessorCall reports whether call invokes one of the registered
-// accessor methods on the graph substrate's Graph type.
+// accessor methods on the graph substrate's Graph or Arena types.
 func isGraphAccessorCall(pkg *Package, call *ast.CallExpr) bool {
+	return isGraphMethodCall(pkg, call, graphAccessorSeeds)
+}
+
+// isGraphMethodCall reports whether call invokes a method from names on the
+// graph package's Graph or Arena type.
+func isGraphMethodCall(pkg *Package, call *ast.CallExpr, names map[string]bool) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || !graphAccessorSeeds[fn.Name()] {
+	if !ok || !names[fn.Name()] {
 		return false
 	}
 	sig, _ := fn.Type().(*types.Signature)
@@ -543,7 +552,10 @@ func isGraphAccessorCall(pkg *Package, call *ast.CallExpr) bool {
 		rt = ptr.Elem()
 	}
 	named, ok := rt.(*types.Named)
-	if !ok || named.Obj().Name() != "Graph" || named.Obj().Pkg() == nil {
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if name := named.Obj().Name(); name != "Graph" && name != "Arena" {
 		return false
 	}
 	return lastSegment(named.Obj().Pkg().Path()) == "graph"

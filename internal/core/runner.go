@@ -89,6 +89,13 @@ type Result struct {
 	Retries int `json:",omitempty"`
 	// Resumed marks a cell replayed from a journal rather than re-run.
 	Resumed bool `json:",omitempty"`
+	// GraphFile is the serialized graph file the cell's input was loaded
+	// from (empty for generated inputs); GraphEpoch is the input graph's
+	// identity stamp (the format-v2 header checksum for saved/loaded graphs,
+	// a structural hash otherwise). Together they let a resumed run prove a
+	// journaled cell and the current input are the same graph.
+	GraphFile  string `json:",omitempty"`
+	GraphEpoch uint64 `json:",omitempty"`
 	// Verified reports whether the cell finished OK (every trial returned in
 	// time and, when verification is on, passed the oracle); Err carries the
 	// first failure. Per §VI's call for "more formally specified verification
@@ -450,6 +457,10 @@ func prepare(f kernel.Framework, in *Input) (out trialOutcome) {
 // become per-trial statuses on the Result, never harness crashes.
 func (r *Runner) RunCell(f kernel.Framework, k Kernel, in *Input, mode kernel.Mode) Result {
 	res := Result{Framework: f.Name(), Kernel: k, Graph: in.Spec.Name, Mode: mode, Verified: true, Seconds: -1}
+	res.GraphFile = in.File
+	if in.Graph != nil {
+		res.GraphEpoch = in.Graph.Epoch()
+	}
 	trials := r.Trials
 	if trials < 1 {
 		trials = 1
@@ -570,6 +581,9 @@ func (r *Runner) RunSuite(frameworks []kernel.Framework, inputs []*Input, modes 
 			for _, k := range kernels {
 				for _, f := range frameworks {
 					if prior, ok := journaled[CellID(f.Name(), k, in.Spec.Name, mode)]; ok {
+						if err := checkResumeIdentity(prior, in); err != nil {
+							return results, fmt.Errorf("core: resume: %w", err)
+						}
 						prior.Resumed = true
 						results = append(results, prior)
 						if progress != nil {
@@ -592,6 +606,26 @@ func (r *Runner) RunSuite(frameworks []kernel.Framework, inputs []*Input, modes 
 		}
 	}
 	return results, nil
+}
+
+// checkResumeIdentity refuses to replay a journaled cell over a different
+// input than the one it was measured on: the graph file name and the graph
+// epoch must agree whenever both sides recorded them. (Either side may have
+// none — pre-epoch journals, generated inputs — and then no claim is made.)
+func checkResumeIdentity(prior Result, in *Input) error {
+	if prior.GraphFile != "" && in.File != "" && prior.GraphFile != in.File {
+		return fmt.Errorf("journaled cell %s was measured on %s, current input is %s — delete the journal or rerun with the original file",
+			prior.CellID(), prior.GraphFile, in.File)
+	}
+	var epoch uint64
+	if in.Graph != nil {
+		epoch = in.Graph.Epoch()
+	}
+	if prior.GraphEpoch != 0 && epoch != 0 && prior.GraphEpoch != epoch {
+		return fmt.Errorf("journaled cell %s was measured on graph epoch %#x, current input %s has epoch %#x — the input changed; delete the journal or restore the input",
+			prior.CellID(), prior.GraphEpoch, in.Spec.Name, epoch)
+	}
+	return nil
 }
 
 // PrepareViews warms each graph's per-framework internal representations so

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"gapbench/internal/generate"
 	"gapbench/internal/graph"
@@ -69,6 +70,42 @@ type Input struct {
 	Relabeled  *graph.Graph // degree-sorted undirected view (Optimized-only)
 	Sources    []graph.NodeID
 	BCRoots    [][]graph.NodeID
+	// File is the serialized graph file this input was loaded from, empty
+	// for generated inputs. Journals record it (with the graph's epoch) so
+	// resumed runs can refuse a mismatched input.
+	File string
+}
+
+// Close releases the storage of every distinct graph view this input holds
+// (the primary graph, the undirected view, and the relabeled view may alias
+// one another). After Close, mmap-backed inputs are unmapped and any retained
+// kernel view panics on use instead of faulting.
+func (in *Input) Close() error {
+	if in == nil {
+		return nil
+	}
+	var first error
+	closed := make(map[*graph.Graph]bool, 3)
+	for _, g := range []*graph.Graph{in.Relabeled, in.Undirected, in.Graph} {
+		if g == nil || closed[g] {
+			continue
+		}
+		closed[g] = true
+		if err := g.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	in.Graph, in.Undirected, in.Relabeled = nil, nil, nil
+	return first
+}
+
+// GraphFileName is the canonical serialized-graph file name for a suite
+// spec: lowercase graph name, scale, and generator seed, with the given
+// extension ("sg" for format v2, "gapb" for v1). graphgen writes these names
+// and gapbench's -graphdir cache looks them up, so the two sides agree by
+// construction.
+func GraphFileName(spec GraphSpec, ext string) string {
+	return fmt.Sprintf("%s-s%d-seed%d.%s", strings.ToLower(spec.Name), spec.Scale, spec.Seed, ext)
 }
 
 // maxTrialSources is how many BFS/SSSP sources (and BC root sets) are

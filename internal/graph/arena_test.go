@@ -1,0 +1,124 @@
+package graph
+
+import "testing"
+
+// White-box tests for the storage arena: section geometry, alignment, view
+// aliasing, and close/poison semantics.
+
+func TestLayoutForGeometry(t *testing.T) {
+	lay := layoutFor(3, 5, 5, true, true)
+	if lay.total%arenaAlign != 0 {
+		t.Errorf("total %d not %d-aligned", lay.total, arenaAlign)
+	}
+	for sec := 0; sec < numSections; sec++ {
+		if lay.off[sec]%arenaAlign != 0 {
+			t.Errorf("section %d offset %d not aligned", sec, lay.off[sec])
+		}
+	}
+	wantSizes := [numSections]int64{
+		secOutIndex: 8 * 4, secOutNeigh: 4 * 5, secOutWeight: 4 * 5,
+		secInIndex: 8 * 4, secInNeigh: 4 * 5, secInWeight: 4 * 5,
+	}
+	if lay.size != wantSizes {
+		t.Errorf("sizes = %v, want %v", lay.size, wantSizes)
+	}
+
+	// Undirected unweighted: only the out index/neighbor sections exist.
+	u := layoutFor(3, 5, 0, false, false)
+	for _, sec := range []int{secOutWeight, secInIndex, secInNeigh, secInWeight} {
+		if u.size[sec] != 0 {
+			t.Errorf("undirected unweighted section %d has size %d", sec, u.size[sec])
+		}
+	}
+	// The directed layout's out-sections are a prefix at the same offsets.
+	if u.off[secOutIndex] != lay.off[secOutIndex] || u.off[secOutNeigh] != lay.off[secOutNeigh] {
+		t.Error("out-section offsets differ between directed and undirected layouts")
+	}
+}
+
+func TestHeapArenaAlignment(t *testing.T) {
+	for _, n := range []int32{0, 1, 7, 100} {
+		a := newHeapArena(layoutFor(n, int64(n)*3, 0, false, false))
+		if len(a.data) != int(a.lay.total) {
+			t.Fatalf("n=%d: data len %d != total %d", n, len(a.data), a.lay.total)
+		}
+		if idx := a.int64s(secOutIndex); int64(len(idx)) != int64(n)+1 {
+			t.Fatalf("n=%d: index view len %d", n, len(idx))
+		}
+	}
+}
+
+func TestGraphFromArenaUndirectedAliases(t *testing.T) {
+	g, err := Build([]Edge{{U: 0, V: 1}, {U: 1, V: 2}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.arena == nil {
+		t.Fatal("built graph has no arena")
+	}
+	if &g.inIndex[0] != &g.outIndex[0] || &g.inNeigh[0] != &g.outNeigh[0] {
+		t.Error("undirected in-views do not alias the out-views")
+	}
+	if g.Epoch() == 0 {
+		t.Error("built graph has zero epoch")
+	}
+}
+
+func TestWeightedEmptyGraphStaysWeighted(t *testing.T) {
+	g, err := BuildWeighted(nil, BuildOptions{NumNodes: 4, Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Error("weighted zero-edge graph lost its weighted flag")
+	}
+}
+
+func TestClosePoisonsViews(t *testing.T) {
+	g, err := BuildWeighted([]WEdge{{U: 0, V: 1, W: 2}}, BuildOptions{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if g.outIndex != nil || g.outNeigh != nil || g.inIndex != nil || g.arena != nil {
+		t.Error("Close left views or arena in place")
+	}
+	if err := g.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("OutNeighbors after Close did not panic")
+			}
+		}()
+		_ = g.OutNeighbors(0)
+	}()
+}
+
+func TestStructuralEpochDistinguishesShapes(t *testing.T) {
+	a := structuralEpoch(layoutFor(4, 6, 6, true, false), LayoutPlain)
+	b := structuralEpoch(layoutFor(4, 6, 6, true, false), LayoutDegree)
+	c := structuralEpoch(layoutFor(5, 6, 6, true, false), LayoutPlain)
+	if a == b || a == c || b == c {
+		t.Errorf("epochs collide: %#x %#x %#x", a, b, c)
+	}
+	if a == 0 || b == 0 || c == 0 {
+		t.Error("structural epoch must never be zero")
+	}
+}
+
+func TestValidateArenaShape(t *testing.T) {
+	if err := validateArenaShape(10, 100, 100); err != nil {
+		t.Errorf("valid shape rejected: %v", err)
+	}
+	for _, bad := range [][3]int64{
+		{-1, 0, 0}, {1 << 31, 0, 0}, {1, -1, 0}, {1, 0, 1<<40 + 1},
+	} {
+		if err := validateArenaShape(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("shape %v accepted", bad)
+		}
+	}
+}

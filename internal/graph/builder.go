@@ -32,6 +32,11 @@ type BuildOptions struct {
 	KeepSelfLoops bool
 	// Workers bounds construction parallelism; <1 means the default.
 	Workers int
+	// Layout selects the vertex layout baked into the built graph.
+	// LayoutPlain (the default) keeps input ids; LayoutDegree renumbers by
+	// decreasing out-degree after construction, and is recorded in the
+	// format-v2 header so loaded graphs know how they were laid out.
+	Layout Layout
 }
 
 // Build constructs a CSR graph from an unweighted edge list. Adjacency lists
@@ -44,13 +49,7 @@ func Build(edges []Edge, opt BuildOptions) (*Graph, error) {
 			we[i] = WEdge{U: edges[i].U, V: edges[i].V}
 		}
 	})
-	g, err := BuildWeighted(we, opt)
-	if err != nil {
-		return nil, err
-	}
-	g.outWeight = nil
-	g.inWeight = nil
-	return g, nil
+	return build(we, opt, false)
 }
 
 // BuildWeighted constructs a weighted CSR graph from a weighted edge list.
@@ -66,6 +65,15 @@ func Build(edges []Edge, opt BuildOptions) (*Graph, error) {
 // histogram/scan/scatter over the deduplicated out-CSR — transposing a
 // row-sorted CSR with a stable scatter yields row-sorted output directly.
 func BuildWeighted(edges []WEdge, opt BuildOptions) (*Graph, error) {
+	return build(edges, opt, true)
+}
+
+// build is the shared construction core. The counting-sort passes run over
+// scratch arrays (the scatter output is dead weight once rows are
+// deduplicated), and only the final compaction writes into the graph's
+// storage arena — so the arena is exactly final-sized and holds no
+// construction garbage.
+func build(edges []WEdge, opt BuildOptions, weighted bool) (*Graph, error) {
 	n, err := checkEdges(edges, opt)
 	if err != nil {
 		return nil, err
@@ -75,18 +83,15 @@ func BuildWeighted(edges []WEdge, opt BuildOptions) (*Graph, error) {
 	// graphs, both directions for undirected ones.
 	work := expandEdges(edges, opt)
 
-	outIndex, outNeigh, outWeight := buildCSR(n, work, opt.Workers)
-	g := &Graph{
-		n:         n,
-		directed:  opt.Directed,
-		outIndex:  outIndex,
-		outNeigh:  outNeigh,
-		outWeight: outWeight,
-	}
-	if opt.Directed {
-		g.inIndex, g.inNeigh, g.inWeight = transposeCSR(n, outIndex, outNeigh, outWeight, opt.Workers)
-	} else {
-		g.inIndex, g.inNeigh, g.inWeight = outIndex, outNeigh, outWeight
+	index, neigh, weight := scatterCSR(n, work, weighted, opt.Workers)
+	kept, newIndex := dedupRows(n, index, neigh, weight, opt.Workers)
+	g := assembleCSRGraph(n, opt.Directed, weighted, LayoutPlain, index, newIndex, kept, neigh, weight, opt.Workers)
+	if opt.Layout == LayoutDegree {
+		rg, _ := DegreeRelabel(g)
+		if err := g.Close(); err != nil {
+			return nil, err
+		}
+		return rg, nil
 	}
 	return g, nil
 }
@@ -210,30 +215,35 @@ func expandEdges(edges []WEdge, opt BuildOptions) []WEdge {
 	return work
 }
 
-// buildCSR packs a directed edge multiset into index/neighbor/weight arrays
-// via the counting-sort pipeline: per-source histogram, exclusive scan,
-// stable scatter, then per-vertex segment sort and min-weight dedup. No
-// comparison sort ever sees the full edge list.
-func buildCSR(n int32, edges []WEdge, workers int) ([]int64, []NodeID, []Weight) {
+// scatterCSR packs a directed edge multiset into scratch index/neighbor/
+// weight arrays via the counting-sort pipeline: per-source histogram,
+// exclusive scan, stable scatter. No comparison sort ever sees the full
+// edge list; rows are sorted and deduplicated afterwards by dedupRows.
+func scatterCSR(n int32, edges []WEdge, weighted bool, workers int) ([]int64, []NodeID, []Weight) {
 	h := par.ShardedHistogram(len(edges), int(n), workers, func(i int) int { return int(edges[i].U) })
 	index := h.Index()
 	neigh := make([]NodeID, len(edges))
-	weight := make([]Weight, len(edges))
+	var weight []Weight
+	if weighted {
+		weight = make([]Weight, len(edges))
+	}
 	h.Scatter(func(i int, pos int64) {
 		neigh[pos] = edges[i].V
-		weight[pos] = edges[i].W
+		if weight != nil {
+			weight[pos] = edges[i].W
+		}
 	})
-	return finalizeRows(n, index, neigh, weight, workers)
+	return index, neigh, weight
 }
 
-// finalizeRows sorts every adjacency segment by (neighbor, weight),
+// dedupRows sorts every adjacency segment by (neighbor, weight) and
 // deduplicates in place keeping each neighbor's first (minimum-weight)
-// entry, and — only when duplicates existed — compacts into fresh arrays
-// under a rescanned index. Rows are processed under a dynamic schedule
-// because segment lengths are the degree distribution itself: power-law
-// inputs put hub rows many orders of magnitude above the mean.
-func finalizeRows(n int32, index []int64, neigh []NodeID, weight []Weight, workers int) ([]int64, []NodeID, []Weight) {
-	kept := make([]int64, n)
+// entry. It returns the per-row survivor counts and their exclusive scan —
+// the compact CSR index. Rows are processed under a dynamic schedule because
+// segment lengths are the degree distribution itself: power-law inputs put
+// hub rows many orders of magnitude above the mean.
+func dedupRows(n int32, index []int64, neigh []NodeID, weight []Weight, workers int) (kept, newIndex []int64) {
+	kept = make([]int64, n)
 	par.ForDynamic(int(n), 128, workers, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			s, e := index[u], index[u+1]
@@ -258,27 +268,39 @@ func finalizeRows(n int32, index []int64, neigh []NodeID, weight []Weight, worke
 			kept[u] = int64(k)
 		}
 	})
-	newIndex := par.PrefixSum(kept, workers)
-	if n == 0 || newIndex[n] == index[n] {
-		// No duplicates anywhere: the in-place sort already finalized the
-		// arrays and the original index still describes them.
-		return index, neigh, weight
+	newIndex = par.PrefixSum(kept, workers)
+	return kept, newIndex
+}
+
+// assembleCSRGraph allocates the storage arena for the final graph shape and
+// fills it: the deduplicated rows (described by the scratch index plus
+// per-row survivor counts) compact into the out-sections, and for directed
+// graphs the transpose scatters straight into the in-sections. This is the
+// single point where builder output becomes graph-owned memory.
+func assembleCSRGraph(n int32, directed, weighted bool, layout Layout, index, newIndex, kept []int64, neigh []NodeID, weight []Weight, workers int) *Graph {
+	mOut := newIndex[n]
+	mIn := int64(0)
+	if directed {
+		mIn = mOut
 	}
-	packedNeigh := make([]NodeID, newIndex[n])
-	var packedWeight []Weight
-	if weight != nil {
-		packedWeight = make([]Weight, newIndex[n])
-	}
+	a := newHeapArena(layoutFor(n, mOut, mIn, directed, weighted))
+	outIndex := a.int64s(secOutIndex)
+	copy(outIndex, newIndex)
+	outNeigh := a.int32s(secOutNeigh)
+	outWeight := a.int32s(secOutWeight)
 	par.ForDynamic(int(n), 128, workers, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			s, d, c := index[u], newIndex[u], kept[u]
-			copy(packedNeigh[d:d+c], neigh[s:s+c])
-			if weight != nil {
-				copy(packedWeight[d:d+c], weight[s:s+c])
+			copy(outNeigh[d:d+c], neigh[s:s+c])
+			if outWeight != nil {
+				copy(outWeight[d:d+c], weight[s:s+c])
 			}
 		}
 	})
-	return newIndex, packedNeigh, packedWeight
+	if directed {
+		transposeInto(a, n, outIndex, outNeigh, outWeight, workers)
+	}
+	return graphFromArena(a, layout)
 }
 
 // expandRowIDs inverts a CSR index: rows[i] is the row owning position i.
@@ -296,27 +318,24 @@ func expandRowIDs(n int32, index []int64, workers int) []NodeID {
 	return rows
 }
 
-// transposeCSR builds the transpose of a deduplicated, row-sorted CSR with
-// one histogram/scan/scatter round. Stability makes the segment sort
-// unnecessary: items are walked in row-major order, so within each output
-// row the (source) values arrive in increasing order, and dedup is moot
-// because the input rows were already duplicate-free.
-func transposeCSR(n int32, index []int64, neigh []NodeID, weight []Weight, workers int) ([]int64, []NodeID, []Weight) {
+// transposeInto builds the transpose of a deduplicated, row-sorted CSR
+// directly into an arena's in-sections with one histogram/scan/scatter
+// round. Stability makes the segment sort unnecessary: items are walked in
+// row-major order, so within each output row the (source) values arrive in
+// increasing order, and dedup is moot because the input rows were already
+// duplicate-free.
+func transposeInto(a *Arena, n int32, index []int64, neigh []NodeID, weight []Weight, workers int) {
 	rows := expandRowIDs(n, index, workers)
 	h := par.ShardedHistogram(len(neigh), int(n), workers, func(i int) int { return int(neigh[i]) })
-	tIndex := h.Index()
-	tNeigh := make([]NodeID, len(neigh))
-	var tWeight []Weight
-	if weight != nil {
-		tWeight = make([]Weight, len(neigh))
-	}
+	copy(a.int64s(secInIndex), h.Index())
+	tNeigh := a.int32s(secInNeigh)
+	tWeight := a.int32s(secInWeight)
 	h.Scatter(func(i int, pos int64) {
 		tNeigh[pos] = rows[i]
 		if tWeight != nil {
 			tWeight[pos] = weight[i]
 		}
 	})
-	return tIndex, tNeigh, tWeight
 }
 
 // Undirected returns an undirected view of g: g itself when already
@@ -398,12 +417,8 @@ func (g *Graph) Undirected() *Graph {
 			}
 		}
 	})
-	uIndex, uNeigh, uWeight = finalizeRows(n, uIndex, uNeigh, uWeight, 0)
-	return &Graph{
-		n: n, directed: false,
-		outIndex: uIndex, outNeigh: uNeigh, outWeight: uWeight,
-		inIndex: uIndex, inNeigh: uNeigh, inWeight: uWeight,
-	}
+	kept, newIndex := dedupRows(n, uIndex, uNeigh, uWeight, 0)
+	return assembleCSRGraph(n, false, hasW, g.layout, uIndex, newIndex, kept, uNeigh, uWeight, 0)
 }
 
 // FromCSR adopts pre-built CSR arrays after validating their structure:
@@ -431,6 +446,9 @@ func FromCSR(n int32, directed bool, outIndex []int64, outNeigh []NodeID, inInde
 	} else {
 		g.inIndex, g.inNeigh, g.inWeight = outIndex, outNeigh, outWeight
 	}
+	// Copy the adopted slices into an arena so every validated graph has
+	// uniform storage ownership (Close semantics, epoch identity).
+	g.materializeArena()
 	return g, nil
 }
 

@@ -80,6 +80,11 @@ func FuzzReadFrom(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	var buf2 bytes.Buffer
+	if err := g.WriteSG(&buf2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf2.Bytes())
 	f.Add([]byte("GAPB"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

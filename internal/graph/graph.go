@@ -19,6 +19,45 @@ type NodeID = int32
 // uniformly at random in [1, 255].
 type Weight = int32
 
+// Layout identifies the vertex/neighbor ordering a graph was built with. It
+// is chosen at build time, recorded in the format-v2 file header, and
+// transparent to kernels: every layout is a plain CSR, the layouts differ
+// only in which vertex got which id (and therefore how adjacency segments
+// cluster in memory).
+type Layout uint8
+
+const (
+	// LayoutPlain keeps the vertex ids the generator or edge list assigned.
+	LayoutPlain Layout = iota
+	// LayoutDegree renumbers vertices in decreasing out-degree order
+	// (DegreeRelabel) so hub rows — the rows kernels touch most — pack into
+	// the leading pages of the neighbor sections, which keeps bandwidth-bound
+	// kernels streaming instead of striding.
+	LayoutDegree
+)
+
+// String names the layout as recorded in file headers and flag values.
+func (l Layout) String() string {
+	switch l {
+	case LayoutPlain:
+		return "plain"
+	case LayoutDegree:
+		return "degree"
+	}
+	return fmt.Sprintf("layout(%d)", uint8(l))
+}
+
+// ParseLayout inverts Layout.String for CLI flags.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "plain", "":
+		return LayoutPlain, nil
+	case "degree":
+		return LayoutDegree, nil
+	}
+	return LayoutPlain, fmt.Errorf("graph: unknown layout %q (want plain or degree)", s)
+}
+
 // Graph is an immutable CSR graph. For directed graphs both the out-CSR and
 // the in-CSR (transpose) are stored, matching the GAP reference which keeps
 // both forms so that transposition never appears in timed regions. For
@@ -42,6 +81,76 @@ type Graph struct {
 	// seal holds the graphguard checksums recorded by Seal (guard.go); nil
 	// when unsealed or when the graphguard build tag is off.
 	seal *[6]uint64
+
+	// arena is the storage block the six views above point into; nil only
+	// for graphs assembled from caller-owned slices (FromCSR fast path is
+	// gone — builders and loaders always populate it, but the zero Graph
+	// stays valid for tests poking fields directly).
+	arena  *Arena
+	layout Layout
+
+	// epoch identifies the graph for journals and caches: the file header
+	// checksum for graphs saved to or loaded from a format-v2 file (content
+	// identity), a structural hash otherwise. Never zero once built.
+	epoch uint64
+
+	// hdrSums are the per-section checksums from the format-v2 header, kept
+	// so mmap-backed graphs can Seal in O(1) instead of re-hashing gigabytes
+	// (guard.go). Nil for graphs that never met a v2 file.
+	hdrSums *[numSections]uint64
+
+	// Provenance recorded by the generator (graphgen) and carried through
+	// the v2 header so a loaded file can be matched back to its suite spec.
+	provName  string
+	provScale uint32
+	provSeed  uint64
+}
+
+// Layout reports the vertex layout the graph was built with.
+func (g *Graph) Layout() Layout { return g.layout }
+
+// Epoch returns the graph's identity stamp: the format-v2 header checksum
+// for saved/loaded graphs, a structural hash for built ones, 0 only for
+// hand-assembled zero-value graphs. Journals record it so resumed runs can
+// refuse an input that changed under them.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// Arena returns the storage arena backing the CSR views, or nil for graphs
+// assembled without one.
+func (g *Graph) Arena() *Arena { return g.arena }
+
+// Provenance returns the generator identity carried in the format-v2 header:
+// suite graph name, scale, and seed. Empty/zero when unknown (v1 files,
+// hand-built graphs).
+func (g *Graph) Provenance() (name string, scale uint32, seed uint64) {
+	return g.provName, g.provScale, g.provSeed
+}
+
+// SetProvenance records the generator identity to be written into the
+// format-v2 header. Call before Save/WriteSG.
+func (g *Graph) SetProvenance(name string, scale uint32, seed uint64) {
+	if len(name) > provNameLen {
+		name = name[:provNameLen]
+	}
+	g.provName, g.provScale, g.provSeed = name, scale, seed
+}
+
+// Close releases the graph's storage. For mmap-backed graphs this unmaps the
+// file; for heap-backed graphs it drops the arena reference. Either way every
+// CSR view is poisoned (nilled) first, so any retained *Graph fails with an
+// ordinary nil-slice panic instead of faulting on an unmapped page. Safe on
+// nil and safe to call twice. gapvet's arena-escape rule checks statically
+// that no graph-derived slice outlives this call.
+func (g *Graph) Close() error {
+	if g == nil {
+		return nil
+	}
+	g.outIndex, g.outNeigh, g.outWeight = nil, nil, nil
+	g.inIndex, g.inNeigh, g.inWeight = nil, nil, nil
+	g.seal, g.hdrSums = nil, nil
+	a := g.arena
+	g.arena = nil
+	return a.close()
 }
 
 // NumNodes returns the number of vertices.

@@ -30,8 +30,28 @@ var sealNames = [...]string{"outIndex", "outNeigh", "inIndex", "inNeigh", "outWe
 // Seal records a checksum of each CSR array. A no-op unless the graphguard
 // build tag is on. Safe to call more than once; the last seal wins, so a
 // legitimate in-package rebuild (relabel, symmetrize) just re-seals.
+//
+// Graphs that carry format-v2 header checksums — mmap-loaded ones above all
+// — seal from the header in O(1) instead of re-hashing every array, which
+// for a mapped multi-gigabyte graph also avoids faulting the whole file in
+// just to seal it. The header sums were computed with the same checksum
+// functions at save time, so CheckSeal compares like with like.
 func (g *Graph) Seal() {
 	if !graphguardEnabled || g == nil {
+		return
+	}
+	if s := g.hdrSums; s != nil {
+		sums := [len(sealNames)]uint64{
+			s[secOutIndex], s[secOutNeigh],
+			s[secInIndex], s[secInNeigh],
+			s[secOutWeight], s[secInWeight],
+		}
+		if !g.directed {
+			// The in-views alias the out-views; the header stores the
+			// in-sections as absent.
+			sums[2], sums[3], sums[5] = s[secOutIndex], s[secOutNeigh], s[secOutWeight]
+		}
+		g.seal = &sums
 		return
 	}
 	g.seal = &[len(sealNames)]uint64{

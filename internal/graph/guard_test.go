@@ -147,3 +147,55 @@ func fmtPanic(p any) string {
 	}
 	return ""
 }
+
+// TestGuardSealFromHeaderSums proves the O(1) header-based seal agrees with
+// the recomputing CheckSeal: seal a graph carrying v2 header checksums, then
+// let CheckSeal re-hash every live array against it. Covers the directed
+// (all six slots distinct) and undirected (in-views alias out-views, header
+// in-sections absent) cases.
+func TestGuardSealFromHeaderSums(t *testing.T) {
+	if !GuardEnabled() {
+		t.Skip("needs -tags=graphguard")
+	}
+	dg := guardGraph(t)
+	ug, err := BuildWeighted([]WEdge{{U: 0, V: 1, W: 4}, {U: 1, V: 2, W: 6}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*Graph{"directed": dg, "undirected": ug} {
+		path := t.TempDir() + "/" + name + ".sg"
+		if err := g.SaveSG(path); err != nil {
+			t.Fatalf("%s: SaveSG: %v", name, err)
+		}
+		// The save stamped hdrSums on the heap graph itself: Seal must take
+		// the cheap path and still verify.
+		if g.hdrSums == nil {
+			t.Fatalf("%s: SaveSG did not record header checksums", name)
+		}
+		g.Seal()
+		if err := g.CheckSeal(); err != nil {
+			t.Errorf("%s: header-based seal does not verify: %v", name, err)
+		}
+		g.outNeigh[0]++
+		if err := g.CheckSeal(); err == nil {
+			t.Errorf("%s: mutation under header-based seal not detected", name)
+		}
+		g.outNeigh[0]--
+
+		// And the same for the mmap-loaded copy.
+		m, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: Load: %v", name, err)
+		}
+		if !m.Arena().Mapped() {
+			t.Fatalf("%s: loaded graph not mapped", name)
+		}
+		m.Seal()
+		if err := m.CheckSeal(); err != nil {
+			t.Errorf("%s: mmap graph seal does not verify: %v", name, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Errorf("%s: Close: %v", name, err)
+		}
+	}
+}

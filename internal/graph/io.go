@@ -6,13 +6,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"unsafe"
 )
 
 // Binary serialization of CSR graphs, the analogue of the GAP reference's
 // ".sg"/".wsg" serialized-graph files: generating a benchmark graph once and
 // reloading it is far cheaper than regenerating it per run.
 //
-// Layout (little-endian):
+// This file is the version-1 stream format plus the version dispatch; the
+// version-2 arena format (mmap-loadable) lives in io_v2.go. Write/Save still
+// emit v1 for compatibility; WriteSG/SaveSG emit v2, and Load/ReadFrom accept
+// both.
+//
+// v1 layout (little-endian):
 //
 //	magic "GAPB" | version u32 | flags u32 (bit0 directed, bit1 weighted)
 //	n u32 | m u64 (out-CSR entry count)
@@ -48,14 +54,14 @@ func (g *Graph) Write(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint64(len(g.outNeigh))); err != nil {
 		return err
 	}
-	if err := writeInt64s(bw, g.outIndex); err != nil {
+	if err := putInts(bw, g.outIndex); err != nil {
 		return err
 	}
-	if err := writeInt32s(bw, g.outNeigh); err != nil {
+	if err := putInts(bw, g.outNeigh); err != nil {
 		return err
 	}
 	if g.Weighted() {
-		if err := writeInt32s(bw, g.outWeight); err != nil {
+		if err := putInts(bw, g.outWeight); err != nil {
 			return err
 		}
 	}
@@ -63,14 +69,14 @@ func (g *Graph) Write(w io.Writer) error {
 		if err := binary.Write(bw, binary.LittleEndian, uint64(len(g.inNeigh))); err != nil {
 			return err
 		}
-		if err := writeInt64s(bw, g.inIndex); err != nil {
+		if err := putInts(bw, g.inIndex); err != nil {
 			return err
 		}
-		if err := writeInt32s(bw, g.inNeigh); err != nil {
+		if err := putInts(bw, g.inNeigh); err != nil {
 			return err
 		}
 		if g.Weighted() {
-			if err := writeInt32s(bw, g.inWeight); err != nil {
+			if err := putInts(bw, g.inWeight); err != nil {
 				return err
 			}
 		}
@@ -78,24 +84,31 @@ func (g *Graph) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadFrom deserializes a graph written by Write.
+// ReadFrom deserializes a graph written by Write (v1) or WriteSG (v2). Both
+// paths copy into heap storage and fully validate; use Load on a file path
+// to get the zero-copy mmap fast path for v2.
 func ReadFrom(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+	var prefix [8]byte
+	if _, err := io.ReadFull(br, prefix[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
-	if string(magic) != fileMagic {
-		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	if string(prefix[:4]) != fileMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", prefix[:4])
 	}
-	var version, flags, n uint32
-	for _, p := range []*uint32{&version, &flags, &n} {
+	switch version := binary.LittleEndian.Uint32(prefix[4:]); version {
+	case fileVersion:
+		// fall through to the v1 stream decoder below
+	case sgVersion:
+		return readSGFrom(br, prefix)
+	default:
+		return nil, fmt.Errorf("graph: unsupported file version %d", version)
+	}
+	var flags, n uint32
+	for _, p := range []*uint32{&flags, &n} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 			return nil, err
 		}
-	}
-	if version != fileVersion {
-		return nil, fmt.Errorf("graph: unsupported file version %d", version)
 	}
 	directed := flags&flagDirected != 0
 	weighted := flags&flagWeighted != 0
@@ -113,17 +126,23 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 		if m > 1<<40 {
 			return nil, nil, nil, fmt.Errorf("graph: entry count %d out of range", m)
 		}
-		index, err := readInt64s(br, int(n)+1)
+		index, err := readInts[int64](br, int(n)+1)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		neigh, err := readInt32s(br, int(m))
+		// The index must account for exactly the claimed entries before the
+		// neighbor arrays are allocated — a corrupt index otherwise survives
+		// until FromCSR, after up to 2*m values were read and buffered.
+		if index[n] != int64(m) {
+			return nil, nil, nil, fmt.Errorf("graph: index end %d != entry count %d", index[n], m)
+		}
+		neigh, err := readInts[NodeID](br, int(m))
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		var weight []Weight
 		if weighted {
-			if weight, err = readInt32s(br, int(m)); err != nil {
+			if weight, err = readInts[Weight](br, int(m)); err != nil {
 				return nil, nil, nil, err
 			}
 		}
@@ -158,27 +177,56 @@ func (g *Graph) Save(path string) error {
 	return f.Close()
 }
 
-// Load reads a graph from a file written by Save.
+// Load reads a graph from a file written by Save or SaveSG. Format-v2 files
+// are memory-mapped read-only — O(header) work, zero copies — and must be
+// released with Close; v1 files decode through the stream copy path.
 func Load(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var prefix [8]byte
+	if _, err := io.ReadFull(f, prefix[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(prefix[:4]) == fileMagic && binary.LittleEndian.Uint32(prefix[4:]) == sgVersion {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		return loadSG(f, st.Size())
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	return ReadFrom(f)
 }
 
-func writeInt64s(w io.Writer, xs []int64) error {
-	buf := make([]byte, 8*4096)
+// putInts writes a little-endian integer array through one reused chunk
+// buffer. One generic body replaces the former writeInt64s/writeInt32s pair;
+// the per-byte shift loop compiles to the same stores the width-specific
+// binary.LittleEndian calls did.
+func putInts[T int32 | int64](w io.Writer, xs []T) error {
+	var zero T
+	width := int(unsafe.Sizeof(zero))
+	buf := make([]byte, 1<<15)
+	per := len(buf) / width
 	for len(xs) > 0 {
 		chunk := len(xs)
-		if chunk > 4096 {
-			chunk = 4096
+		if chunk > per {
+			chunk = per
 		}
 		for i := 0; i < chunk; i++ {
-			binary.LittleEndian.PutUint64(buf[i*8:], uint64(xs[i]))
+			v := uint64(xs[i])
+			for j := 0; j < width; j++ {
+				buf[i*width+j] = byte(v >> (8 * j))
+			}
 		}
-		if _, err := w.Write(buf[:chunk*8]); err != nil {
+		if _, err := w.Write(buf[:chunk*width]); err != nil {
 			return err
 		}
 		xs = xs[chunk:]
@@ -186,69 +234,34 @@ func writeInt64s(w io.Writer, xs []int64) error {
 	return nil
 }
 
-func writeInt32s(w io.Writer, xs []int32) error {
-	buf := make([]byte, 4*8192)
-	for len(xs) > 0 {
-		chunk := len(xs)
-		if chunk > 8192 {
-			chunk = 8192
-		}
-		for i := 0; i < chunk; i++ {
-			binary.LittleEndian.PutUint32(buf[i*4:], uint32(xs[i]))
-		}
-		if _, err := w.Write(buf[:chunk*4]); err != nil {
-			return err
-		}
-		xs = xs[chunk:]
-	}
-	return nil
-}
-
-// readInt64s reads n little-endian int64s. The output grows incrementally
-// so a corrupt header claiming billions of entries fails at end-of-input
-// instead of pre-allocating unbounded memory.
-func readInt64s(r io.Reader, n int) ([]int64, error) {
+// readInts reads n little-endian integers, unifying the former
+// readInt64s/readInt32s pair. The output grows incrementally (capped at 8
+// MiB of initial capacity) so a corrupt header claiming billions of entries
+// fails at end-of-input instead of pre-allocating unbounded memory.
+func readInts[T int32 | int64](r io.Reader, n int) ([]T, error) {
+	var zero T
+	width := int(unsafe.Sizeof(zero))
 	initial := n
-	if initial > 1<<20 {
-		initial = 1 << 20
+	if lim := (1 << 23) / width; initial > lim {
+		initial = lim
 	}
-	out := make([]int64, 0, initial)
-	buf := make([]byte, 8*4096)
+	out := make([]T, 0, initial)
+	buf := make([]byte, 1<<15)
+	per := len(buf) / width
 	for i := 0; i < n; {
 		chunk := n - i
-		if chunk > 4096 {
-			chunk = 4096
+		if chunk > per {
+			chunk = per
 		}
-		if _, err := io.ReadFull(r, buf[:chunk*8]); err != nil {
+		if _, err := io.ReadFull(r, buf[:chunk*width]); err != nil {
 			return nil, err
 		}
 		for j := 0; j < chunk; j++ {
-			out = append(out, int64(binary.LittleEndian.Uint64(buf[j*8:])))
-		}
-		i += chunk
-	}
-	return out, nil
-}
-
-// readInt32s reads n little-endian int32s with the same incremental growth
-// as readInt64s.
-func readInt32s(r io.Reader, n int) ([]int32, error) {
-	initial := n
-	if initial > 1<<21 {
-		initial = 1 << 21
-	}
-	out := make([]int32, 0, initial)
-	buf := make([]byte, 4*8192)
-	for i := 0; i < n; {
-		chunk := n - i
-		if chunk > 8192 {
-			chunk = 8192
-		}
-		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
-			return nil, err
-		}
-		for j := 0; j < chunk; j++ {
-			out = append(out, int32(binary.LittleEndian.Uint32(buf[j*4:])))
+			var v uint64
+			for k := 0; k < width; k++ {
+				v |= uint64(buf[j*width+k]) << (8 * k)
+			}
+			out = append(out, T(v))
 		}
 		i += chunk
 	}

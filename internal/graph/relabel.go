@@ -39,29 +39,35 @@ func DegreeRelabel(g *Graph) (*Graph, []NodeID) {
 		})
 		h.Scatter(func(i int, pos int64) { perm[i] = NodeID(pos) })
 	}
-	return ApplyPermutation(g, perm), perm
+	return applyPermutation(g, perm, LayoutDegree), perm
 }
 
 // ApplyPermutation renumbers g's vertices: vertex old becomes perm[old]. The
 // permutation must be a bijection on [0, n).
 func ApplyPermutation(g *Graph, perm []NodeID) *Graph {
-	n := g.NumNodes()
-	outIndex, outNeigh, outWeight := permuteCSR(g, perm, false)
-	ng := &Graph{
-		n: n, directed: g.directed,
-		outIndex: outIndex, outNeigh: outNeigh, outWeight: outWeight,
-	}
-	if g.directed {
-		ng.inIndex, ng.inNeigh, ng.inWeight = permuteCSR(g, perm, true)
-	} else {
-		ng.inIndex, ng.inNeigh, ng.inWeight = outIndex, outNeigh, outWeight
-	}
-	return ng
+	return applyPermutation(g, perm, g.layout)
 }
 
-// permuteCSR rebuilds one CSR side (out or in) under the permutation, keeping
-// adjacency sorted.
-func permuteCSR(g *Graph, perm []NodeID, in bool) ([]int64, []NodeID, []Weight) {
+// applyPermutation rebuilds both CSR sides under the permutation into a
+// fresh storage arena stamped with the given layout tag.
+func applyPermutation(g *Graph, perm []NodeID, layout Layout) *Graph {
+	n := g.NumNodes()
+	mIn := int64(0)
+	if g.directed {
+		mIn = int64(len(g.inNeigh))
+	}
+	a := newHeapArena(layoutFor(n, g.NumEdges(), mIn, g.directed, g.Weighted()))
+	permuteCSR(g, perm, false, a.int64s(secOutIndex), a.int32s(secOutNeigh), a.int32s(secOutWeight))
+	if g.directed {
+		permuteCSR(g, perm, true, a.int64s(secInIndex), a.int32s(secInNeigh), a.int32s(secInWeight))
+	}
+	return graphFromArena(a, layout)
+}
+
+// permuteCSR rebuilds one CSR side (out or in) under the permutation into
+// the provided arena views, keeping adjacency sorted. weight is nil for
+// unweighted (or empty) graphs.
+func permuteCSR(g *Graph, perm []NodeID, in bool, index []int64, neigh []NodeID, weight []Weight) {
 	n := g.NumNodes()
 	degree := func(u NodeID) int64 {
 		if in {
@@ -82,19 +88,13 @@ func permuteCSR(g *Graph, perm []NodeID, in bool) ([]int64, []NodeID, []Weight) 
 		return g.OutWeights(u)
 	}
 
-	index := make([]int64, n+1)
 	for old := int32(0); old < n; old++ {
 		index[perm[old]+1] = degree(old)
 	}
 	for i := int32(0); i < n; i++ {
 		index[i+1] += index[i]
 	}
-	neigh := make([]NodeID, index[n])
-	var weight []Weight
-	hasW := g.Weighted()
-	if hasW {
-		weight = make([]Weight, index[n])
-	}
+	hasW := g.Weighted() && weight != nil
 	par.For(int(n), 0, func(oldInt int) {
 		old := NodeID(oldInt)
 		base := index[perm[old]]
@@ -125,5 +125,4 @@ func permuteCSR(g *Graph, perm []NodeID, in bool) ([]int64, []NodeID, []Weight) 
 			}
 		}
 	})
-	return index, neigh, weight
 }

@@ -25,8 +25,14 @@
 #      (GAP, GraphIt, SuiteSparse/LAGraph): hoisted per-round heap cells,
 #      fast-path inline splits, and tail-range BCE fixes all land inside
 #      these kernels, so their timings are the deltas ISSUE 7 records.
+#   6. BenchmarkGraphIO — the storage-arena evidence (DESIGN.md §3):
+#      Regenerate (generator + counting-sort build) vs LoadV1 (streaming
+#      decode-and-copy) vs MmapV2 (header check + mmap, O(header)) for Kron,
+#      once at the default test scale and once at scale 20
+#      (GAPBENCH_MMAP_SCALE=20, 2^20 vertices / 2^24 directed edges), where
+#      the mmap cell must beat regeneration by >= 10x.
 #
-# Output: BENCH_PR7.json — one JSON object per benchmark line, fields
+# Output: BENCH_PR8.json — one JSON object per benchmark line, fields
 # {bench, ns_per_op, extra}, plus the raw `go test -bench` text on stderr so
 # a human watching CI still sees the familiar table.
 
@@ -34,7 +40,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -59,6 +65,12 @@ run_bench 'BenchmarkSuite/Baseline/BFS/Road/GAP$'
 
 printf '\n== perf-lint hot-loop cells: BFS|PR|CC on Kron, GAP|GraphIt|SuiteSparse\n' >&2
 run_bench 'BenchmarkSuite/Baseline/(BFS|PR|CC)/Kron/(GAP|GraphIt|SuiteSparse)$'
+
+printf '\n== graph storage: regenerate vs v1 load vs v2 mmap (test scale)\n' >&2
+run_bench 'BenchmarkGraphIO'
+
+printf '\n== graph storage at scale 20: the build-once-load-many headline\n' >&2
+GAPBENCH_MMAP_SCALE=20 go test -run '^$' -bench 'BenchmarkGraphIO' -benchtime=1x -count=3 . | tee -a "$RAW" >&2
 
 # Fold the benchmark lines into JSON. awk keeps the script dependency-free:
 # each line "BenchmarkX/sub-8  1  12345 ns/op [extra...]" becomes one object.

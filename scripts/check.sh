@@ -34,7 +34,12 @@
 #      the suite, its journal, and its resume path keep working. A second
 #      pass with both chaos and graphguard armed closes the loop: the
 #      CorruptGraph fault must be caught by the seal check as Panicked.
-#  10. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
+#  10. graphgen + gapbench graph-store e2e tier: generate the five suite
+#      graphs once as format-v2 .sg files, then run a gapbench smoke over
+#      them via -graphfile, so the whole serialize -> mmap-load -> provenance
+#      -> kernel-verify chain is exercised exactly the way a measurement run
+#      uses it (see DESIGN.md §3 "The storage arena").
+#  11. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
 #      benchmark (suite cells, ablations, and the ingest-pipeline
 #      Build/Transpose groups — scripts/bench.sh's evidence included)
 #      runs exactly one iteration at the test scale, so a
@@ -92,6 +97,14 @@ go test -tags=chaos -short ./internal/core/ ./internal/chaos/
 
 say "chaos+graphguard tier (go test -tags='chaos graphguard' -short)"
 go test -tags='chaos graphguard' -short ./internal/core/
+
+say "graph-store e2e tier (graphgen once, gapbench mmap smoke)"
+GDIR="$(mktemp -d)"
+trap 'rm -rf "$GDIR"' EXIT
+go run ./cmd/graphgen -out "$GDIR" -scale 6 >/dev/null
+SGFILES="$(ls "$GDIR"/*.sg | tr '\n' ',' | sed 's/,$//')"
+go run ./cmd/gapbench -table IV -graphfile "$SGFILES" -kernels BFS,TC -frameworks GAP -mode baseline -trials 1 -q >/dev/null
+echo "graph-store e2e ok (5 graphs saved, mmap-loaded, verified)"
 
 say "benchmark bit-rot guard (go test -run='^$' -bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x .
