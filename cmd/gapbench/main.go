@@ -12,6 +12,7 @@
 //	gapbench -graphs Road,Kron -kernels BFS,SSSP -frameworks GAP,Galois
 //	gapbench -graphfile g/kron-s13-seed42.sg,g/road-s14-seed42.sg  # mmap saved graphs
 //	gapbench -savegraphs ./graphs          # save every input as format-v2 .sg
+//	gapbench -tune -tunefile sched.json    # autotune GraphIt schedules, persist them
 package main
 
 import (
@@ -25,8 +26,10 @@ import (
 	"gapbench/internal/core"
 	"gapbench/internal/generate"
 	"gapbench/internal/graph"
+	"gapbench/internal/graphit"
 	"gapbench/internal/kernel"
 	"gapbench/internal/report"
+	"gapbench/internal/tune"
 )
 
 func main() {
@@ -48,6 +51,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-trial deadline (0 = none); overruns mark the cell TimedOut instead of hanging the run")
 		journal    = flag.String("journal", "", "append each completed cell to this JSONL journal")
 		resume     = flag.Bool("resume", false, "replay cells already in -journal instead of re-running them")
+		doTune     = flag.Bool("tune", false, "autotune GraphIt schedules for the selected inputs and kernels before benchmarking, persisting them to -tunefile")
+		tuneFile   = flag.String("tunefile", "", "persistent schedule store (JSON): -tune writes it; any run with it set loads stored schedules for Optimized-mode cells")
 	)
 	flag.Parse()
 
@@ -55,13 +60,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gapbench: -resume requires -journal")
 		os.Exit(1)
 	}
-	if err := run(*tableFlag, *scale, *trials, *graphsFlag, *kernsFlag, *fwFlag, *modeFlag, *csvPath, *mdPath, *graphDir, *graphFiles, *saveGraphs, !*noVerify, *quiet, *timeout, *journal, *resume); err != nil {
+	if *doTune && *tuneFile == "" {
+		fmt.Fprintln(os.Stderr, "gapbench: -tune requires -tunefile")
+		os.Exit(1)
+	}
+	if err := run(*tableFlag, *scale, *trials, *graphsFlag, *kernsFlag, *fwFlag, *modeFlag, *csvPath, *mdPath, *graphDir, *graphFiles, *saveGraphs, !*noVerify, *quiet, *timeout, *journal, *resume, *doTune, *tuneFile); err != nil {
 		fmt.Fprintln(os.Stderr, "gapbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeSel, csvPath, mdPath, graphDir, graphFiles, saveGraphs string, doVerify, quiet bool, timeout time.Duration, journal string, resume bool) error {
+func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeSel, csvPath, mdPath, graphDir, graphFiles, saveGraphs string, doVerify, quiet bool, timeout time.Duration, journal string, resume, doTune bool, tuneFile string) error {
 	frameworks := core.Frameworks()
 	if fwCSV != "" {
 		var subset []kernel.Framework
@@ -210,6 +219,19 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 	defer runner.Close()                  // park the per-mode machines
 	core.PrepareViews(frameworks, inputs) // untimed load-phase conversions
 
+	if tuneFile != "" {
+		store, err := tune.LoadStore(tuneFile)
+		if err != nil {
+			return err
+		}
+		if doTune {
+			if err := tuneSchedules(store, inputs, kernels, trials, runner.OptimizedWorkers); err != nil {
+				return err
+			}
+		}
+		runner.Schedules = store
+	}
+
 	progress := func(r core.Result) {
 		if quiet {
 			return
@@ -256,6 +278,46 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 				r.Framework, r.Kernel, r.Graph, r.Status, r.Err)
 		}
 	}
+	return nil
+}
+
+// tunableKernels is the subset of the suite the GraphIt scheduling language
+// covers (TC has no schedule space).
+var tunableKernels = map[core.Kernel]bool{"BFS": true, "SSSP": true, "PR": true, "CC": true, "BC": true}
+
+// tuneSchedules runs the autotuner for every (input, kernel) pair not already
+// covered by the store — stored entries are keyed by the graph's content
+// epoch, so a store tuned against different graph bytes misses cleanly and
+// gets re-tuned — then persists the store.
+func tuneSchedules(store *tune.Store, inputs []*core.Input, kernels []core.Kernel, trials, workers int) error {
+	if len(kernels) == 0 {
+		kernels = core.Kernels
+	}
+	mode := kernel.Optimized.String()
+	tuned, reused := 0, 0
+	for _, in := range inputs {
+		for _, k := range kernels {
+			if !tunableKernels[k] {
+				continue
+			}
+			kname := strings.ToLower(string(k))
+			if _, ok := store.Lookup(kname, in.Graph.Epoch(), mode); ok {
+				reused++
+				continue
+			}
+			src := graph.NodeID(0)
+			if len(in.Sources) > 0 {
+				src = in.Sources[0]
+			}
+			best, trace := graphit.Autotune(in.Graph, kname, src, trials, workers)
+			store.Put(kname, in.Graph.Epoch(), mode, best, tune.BestSeconds(trace, best))
+			tuned++
+		}
+	}
+	if err := store.Save(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tune: tuned %d schedules, reused %d from %s\n", tuned, reused, store.Path())
 	return nil
 }
 

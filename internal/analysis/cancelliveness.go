@@ -15,13 +15,14 @@ import (
 // run under lagraph's polled round loops. "spin" is the gapvet fixture
 // package exercising this rule.
 var cancelLivenessPackages = map[string]bool{
-	"gap":     true,
-	"galois":  true,
-	"graphit": true,
-	"gkc":     true,
-	"lagraph": true,
-	"nwgraph": true,
-	"spin":    true,
+	"gap":      true,
+	"galois":   true,
+	"graphit":  true,
+	"gkc":      true,
+	"lagraph":  true,
+	"nwgraph":  true,
+	"spin":     true,
+	"frontier": true,
 }
 
 // CancelLiveness flags kernel loops that can spin forever after the harness

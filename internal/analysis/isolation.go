@@ -20,13 +20,16 @@ var frameworkSegments = map[string]bool{
 
 // isolationAllowed is the substrate a framework package may build on:
 // the shared graph representation, the parallel-for substrate, the kernel
-// interface/option types, the GraphBLAS layer (for lagraph), and core.
+// interface/option types, the GraphBLAS layer (for lagraph), the shared
+// frontier library and schedule tuner, and core.
 var isolationAllowed = map[string]bool{
-	"graph":  true,
-	"par":    true,
-	"kernel": true,
-	"grb":    true,
-	"core":   true,
+	"graph":    true,
+	"par":      true,
+	"kernel":   true,
+	"grb":      true,
+	"core":     true,
+	"frontier": true,
+	"tune":     true,
 }
 
 // isolationAllowedTest extends the allowance for test files, which drive the
@@ -43,7 +46,7 @@ var isolationAllowedTest = map[string]bool{
 // framework code may only build on the shared substrate packages.
 var FrameworkIsolation = &Analyzer{
 	Name: "framework-isolation",
-	Doc:  "framework packages must not import each other; only the shared substrate (graph, par, kernel, grb, core) is allowed",
+	Doc:  "framework packages must not import each other; only the shared substrate (graph, par, kernel, grb, frontier, tune, core) is allowed",
 	Run:  runFrameworkIsolation,
 }
 
@@ -72,7 +75,7 @@ func runFrameworkIsolation(pass *Pass) {
 			case f.Test && isolationAllowedTest[seg]:
 				// Conformance-suite plumbing, fine in tests.
 			default:
-				pass.Reportf(imp.Pos(), "framework package %s imports %s, which is not part of the shared substrate (graph, par, kernel, grb, core)", own, path)
+				pass.Reportf(imp.Pos(), "framework package %s imports %s, which is not part of the shared substrate (graph, par, kernel, grb, frontier, tune, core)", own, path)
 			}
 		}
 	}

@@ -14,14 +14,15 @@ import (
 // assume kernels compute and nothing else. Printing belongs in cmd/ and
 // internal/report.
 var timedPurityPackages = map[string]bool{
-	"gap":     true,
-	"galois":  true,
-	"graphit": true,
-	"gkc":     true,
-	"lagraph": true,
-	"nwgraph": true,
-	"par":     true,
-	"grb":     true,
+	"gap":      true,
+	"galois":   true,
+	"graphit":  true,
+	"gkc":      true,
+	"lagraph":  true,
+	"nwgraph":  true,
+	"par":      true,
+	"grb":      true,
+	"frontier": true,
 }
 
 // TimedRegionPurity flags I/O calls in timed-kernel packages: every call

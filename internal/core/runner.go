@@ -10,6 +10,7 @@ import (
 
 	"gapbench/internal/kernel"
 	"gapbench/internal/par"
+	"gapbench/internal/tune"
 	"gapbench/internal/verify"
 )
 
@@ -184,6 +185,12 @@ type Runner struct {
 	JournalPath string
 	Resume      bool
 
+	// Schedules is the persistent autotuned schedule store (written by
+	// gapbench -tune, keyed by kernel, graph epoch, and mode). When set,
+	// Optimized-mode cells get it through kernel.Options so schedule-aware
+	// frameworks skip their in-run heuristics; Baseline cells never see it.
+	Schedules *tune.Store
+
 	// machines holds one persistent worker pool per mode, built lazily at
 	// the mode's worker count (the Baseline 8-analogue vs the Optimized
 	// hyperthread count) and reused across every cell of that mode, exactly
@@ -288,6 +295,7 @@ func (r *Runner) options(in *Input, mode kernel.Mode) kernel.Options {
 		opt.GraphName = in.Spec.Name
 		opt.Workers = r.OptimizedWorkers
 		opt.RelabeledView = in.Relabeled
+		opt.Schedules = r.Schedules
 	}
 	return opt
 }

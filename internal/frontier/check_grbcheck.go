@@ -1,0 +1,7 @@
+//go:build grbcheck
+
+package frontier
+
+// Building with `-tags=grbcheck` arms the frontier conversion sanitizer
+// alongside grb's (one tag for the whole runtime-invariant tier).
+func init() { frontierCheckEnabled = true }

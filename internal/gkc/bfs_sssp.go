@@ -3,6 +3,7 @@ package gkc
 import (
 	"sync/atomic"
 
+	ft "gapbench/internal/frontier"
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
 	"gapbench/internal/par"
@@ -12,7 +13,9 @@ import (
 // no atomics or fan-out at all; larger ones run the push step with
 // per-thread local buffers flushed in bulk to the shared next-frontier
 // (§III-E's false-sharing reduction), and the dense middle runs the pull
-// step over the in-CSR.
+// step over the in-CSR. The alpha/beta switch arithmetic comes from the
+// shared frontier.Dispatcher; the frontier containers stay GKC's own
+// (sliding queue plus bitmap ping-pong).
 func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) []graph.NodeID {
 	n := int64(g.NumNodes())
 	parent := make([]graph.NodeID, n)
@@ -28,16 +31,14 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) []gra
 	frontier = append(frontier, src)
 	front := graph.NewBitmap(n)
 	curr := graph.NewBitmap(n)
-	edgesToCheck := g.NumEdges()
-	scout := g.OutDegree(src)
-	const alpha, beta = 15, 18
+	disp := ft.NewDispatcher(n, g.NumEdges(), g.OutDegree(src))
 
 	for len(frontier) > 0 {
 		if exec.Interrupted() {
 			return parent // partial; the harness discards cancelled trials
 		}
 		switch {
-		case scout > edgesToCheck/alpha:
+		case disp.UsePull():
 			// Pull phase.
 			front.Reset()
 			for _, u := range frontier {
@@ -66,7 +67,7 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) []gra
 					return count
 				})
 				front.Swap(curr)
-				if awake == 0 || !(awake >= prev || awake > n/beta) {
+				if !disp.KeepPulling(awake, prev) {
 					break
 				}
 			}
@@ -76,26 +77,27 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) []gra
 					frontier = append(frontier, graph.NodeID(u))
 				}
 			}
-			scout = 1
+			disp.EndPull()
 		case len(frontier) < serialThreshold:
 			// Serial push: no atomics, no goroutines — the fast path that
 			// wins Road's thousands of tiny levels.
-			edgesToCheck -= scout
-			scout = 0
+			disp.BeginPush()
+			var sc int64
 			next = next[:0]
 			for _, u := range frontier {
 				for _, v := range g.OutNeighbors(u) {
 					if parent[v] < 0 {
 						parent[v] = u
 						next = append(next, v)
-						scout += g.OutDegree(v)
+						sc += g.OutDegree(v)
 					}
 				}
 			}
 			frontier, next = next, frontier
+			disp.EndPush(sc)
 		default:
 			// Parallel push with local buffers.
-			edgesToCheck -= scout
+			disp.BeginPush()
 			var newScout atomic.Int64
 			shared := graph.NewSlidingQueue(n)
 			cur := frontier
@@ -123,7 +125,7 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, workers int) []gra
 			})
 			shared.SlideWindow()
 			frontier = append(frontier[:0], shared.Frontier()...)
-			scout = newScout.Load()
+			disp.EndPush(newScout.Load())
 		}
 	}
 	return parent

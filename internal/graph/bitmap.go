@@ -66,6 +66,11 @@ func (b *Bitmap) GetAtomic(i int64) bool {
 	return atomic.LoadUint64(&b.words[i>>6])&(1<<uint(i&63)) != 0
 }
 
+// Words exposes the backing word array, least-significant bit first, for
+// word-granular scans (popcount prefix sums, trailing-zero extraction in the
+// frontier conversions). Callers must treat it as read-only.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int64 {
 	var total int64

@@ -1,95 +1,43 @@
 package graphit
 
 import (
-	"time"
-
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
 	"gapbench/internal/par"
+	"gapbench/internal/tune"
 )
 
-// TuneResult records one autotuner candidate.
-type TuneResult struct {
-	Schedule Schedule
-	Seconds  float64
-}
+// TuneResult records one autotuner candidate (the shared tuner's trace
+// entry).
+type TuneResult = tune.TrialResult
 
 // Autotune explores the schedule space for a kernel on a concrete graph and
-// returns the fastest schedule found, with the full exploration trace. This
-// is the miniature counterpart of GraphIt's OpenTuner-based autotuner
-// (§III-D: "explores the optimization space and finds high-performance
-// schedules quickly"); the space here is small enough to sweep exhaustively
-// with `trials` timed runs per point. Tuning time is NOT part of any
-// benchmark timing — the paper's Optimized rule set explicitly excludes it
-// ("They were not required to include the time for such tuning efforts").
+// returns the fastest schedule found, with the full exploration trace. The
+// space enumeration and timing live in the shared tuner (internal/tune);
+// this shim binds the candidates to GraphIt's kernels. Tuning time is NOT
+// part of any benchmark timing — the paper's Optimized rule set explicitly
+// excludes it ("They were not required to include the time for such tuning
+// efforts").
 func Autotune(g *graph.Graph, kernelName string, src graph.NodeID, trials, workers int) (Schedule, []TuneResult) {
-	if trials < 1 {
-		trials = 1
-	}
 	exec := par.Default() // tuning is untimed; the default machine is fine
-	candidates := scheduleSpace(kernelName, g)
-	results := make([]TuneResult, 0, len(candidates))
-	best := candidates[0]
-	bestSec := -1.0
 	delta := kernel.Dist(16)
-	for _, cand := range candidates {
-		sec := -1.0
-		for t := 0; t < trials; t++ {
-			start := time.Now()
-			switch kernelName {
-			case "bfs":
-				_ = bfs(exec, g, src, cand, workers)
-			case "sssp":
-				_ = sssp(exec, g, src, delta, cand, workers)
-			case "pr":
-				_ = pr(exec, g, cand, workers)
-			case "cc":
-				_ = cc(exec, g, cand, workers)
-			default: // bc
-				_ = bc(exec, g, []graph.NodeID{src}, cand, workers)
-			}
-			if s := time.Since(start).Seconds(); sec < 0 || s < sec {
-				sec = s
-			}
+	return tune.Explore(scheduleSpace(kernelName, g), trials, func(cand Schedule) {
+		switch kernelName {
+		case "bfs":
+			_ = bfs(exec, g, src, cand, workers)
+		case "sssp":
+			_ = sssp(exec, g, src, delta, cand, workers)
+		case "pr":
+			_ = pr(exec, g, cand, workers)
+		case "cc":
+			_ = cc(exec, g, cand, workers)
+		default: // bc
+			_ = bc(exec, g, []graph.NodeID{src}, cand, workers)
 		}
-		results = append(results, TuneResult{Schedule: cand, Seconds: sec})
-		if bestSec < 0 || sec < bestSec {
-			best, bestSec = cand, sec
-		}
-	}
-	return best, results
+	})
 }
 
 // scheduleSpace enumerates the meaningful schedule points for a kernel.
 func scheduleSpace(kernelName string, g *graph.Graph) []Schedule {
-	segs := segmentsFor(g)
-	switch kernelName {
-	case "bfs":
-		return []Schedule{
-			{Direction: DirOpt, Frontier: SparseList},
-			{Direction: DirOpt, Frontier: Bitvector},
-			{Direction: PushOnly, Frontier: SparseList},
-		}
-	case "sssp":
-		return []Schedule{
-			{Direction: PushOnly, BucketFusion: true},
-			{Direction: PushOnly, BucketFusion: false},
-		}
-	case "pr":
-		return []Schedule{
-			{CacheTiling: false},
-			{CacheTiling: true, NumSegments: segs},
-			{CacheTiling: true, NumSegments: 2 * segs},
-		}
-	case "cc":
-		return []Schedule{
-			{ShortCircuit: false},
-			{ShortCircuit: true},
-		}
-	default: // bc
-		return []Schedule{
-			{Direction: DirOpt, Frontier: Bitvector},
-			{Direction: DirOpt, Frontier: SparseList},
-		}
-	}
+	return tune.Space(kernelName, int64(g.NumNodes()))
 }

@@ -41,7 +41,7 @@ func bc(exec *par.Machine, g *graph.Graph, sources []graph.NodeID, sched Schedul
 		var levels []*VertexSet
 		frontier := FromList(int64(n), []graph.NodeID{src})
 		if sched.Frontier == Bitvector {
-			frontier = frontier.ToBitvector()
+			frontier = frontier.ToBitmap(exec, workers)
 		}
 		levels = append(levels, frontier)
 		for frontier.Size() > 0 {
@@ -59,10 +59,10 @@ func bc(exec *par.Machine, g *graph.Graph, sources []graph.NodeID, sched Schedul
 
 		// Path counts per level (pull from parents over in-edges).
 		for l := 1; l < len(levels); l++ {
-			level := levels[l].ToList()
-			exec.ForDynamic(len(level.list), 64, workers, func(lo, hi int) {
+			level := levels[l].ToList(exec, workers).List()
+			exec.ForDynamic(len(level), 64, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					v := level.list[i]
+					v := level[i]
 					var s float64
 					for _, u := range g.InNeighbors(v) {
 						if depth[u] == depth[v]-1 {
@@ -77,10 +77,10 @@ func bc(exec *par.Machine, g *graph.Graph, sources []graph.NodeID, sched Schedul
 		// Backward over the transpose: each level-d vertex pushes its
 		// dependency share to parents through in-edges; parents gather.
 		for l := len(levels) - 2; l >= 0; l-- {
-			level := levels[l].ToList()
-			exec.ForDynamic(len(level.list), 64, workers, func(lo, hi int) {
+			level := levels[l].ToList(exec, workers).List()
+			exec.ForDynamic(len(level), 64, workers, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					u := level.list[i]
+					u := level[i]
 					var d float64
 					for _, v := range g.OutNeighbors(u) {
 						if depth[v] == depth[u]+1 {

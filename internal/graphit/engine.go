@@ -1,197 +1,41 @@
 package graphit
 
 import (
-	"sync/atomic"
-
+	"gapbench/internal/frontier"
 	"gapbench/internal/graph"
 	"gapbench/internal/par"
 )
 
-// VertexSet is GraphIt's frontier abstraction, stored as either a sparse
-// index list or a bitvector per the schedule. Conversions are explicit and
-// timed; §V-A attributes GAP-vs-GraphIt BFS differences to "different
-// frontier creation mechanisms".
-type VertexSet struct {
-	n      int64
-	layout FrontierLayout
-	list   []graph.NodeID
-	bits   *graph.Bitmap
-	count  int64
-	// collect is scratch for EdgesetApplyPush's gather: keeping it in the
-	// (already heap-allocated) result set means the traversal closures
-	// capture one pointer instead of forcing a separate accumulator cell to
-	// the heap on every sweep.
-	collect chunkCollect
-}
+// The vertexset engine that used to live here is now the shared frontier
+// library (internal/frontier) — promoted so other framework reproductions
+// can opt into the same sparse-list/bitmap layouts and push/pull sweeps.
+// GraphIt keeps its DSL-flavored names as thin shims over it; the semantics
+// (explicit timed conversions, §V-A's "different frontier creation
+// mechanisms") are unchanged.
+
+// VertexSet is GraphIt's frontier, an alias for the shared frontier set.
+type VertexSet = frontier.Set
 
 // NewVertexSet returns an empty vertex set of the given layout.
 func NewVertexSet(n int64, layout FrontierLayout) *VertexSet {
-	vs := &VertexSet{n: n, layout: layout}
-	if layout == Bitvector {
-		vs.bits = graph.NewBitmap(n)
-	}
-	return vs
+	return frontier.NewSet(n, layout)
 }
 
 // FromList builds a sparse vertex set from a list.
 func FromList(n int64, list []graph.NodeID) *VertexSet {
-	return &VertexSet{n: n, layout: SparseList, list: list, count: int64(len(list))}
-}
-
-// Size returns the number of active vertices.
-func (vs *VertexSet) Size() int64 { return vs.count }
-
-// Add appends a vertex (single-threaded setup path).
-func (vs *VertexSet) Add(v graph.NodeID) {
-	if vs.layout == Bitvector {
-		if vs.bits.SetAtomic(int64(v)) {
-			atomic.AddInt64(&vs.count, 1)
-		}
-		return
-	}
-	vs.list = append(vs.list, v)
-	vs.count++
-}
-
-// ToBitvector converts (or returns) the bitvector form.
-func (vs *VertexSet) ToBitvector() *VertexSet {
-	if vs.layout == Bitvector {
-		return vs
-	}
-	out := NewVertexSet(vs.n, Bitvector)
-	for _, v := range vs.list {
-		out.bits.Set(int64(v))
-	}
-	out.count = vs.count
-	return out
-}
-
-// ToList converts (or returns) the sparse-list form.
-func (vs *VertexSet) ToList() *VertexSet {
-	if vs.layout == SparseList {
-		return vs
-	}
-	out := &VertexSet{n: vs.n, layout: SparseList, list: make([]graph.NodeID, 0, vs.count)}
-	for i := int64(0); i < vs.n; i++ {
-		if vs.bits.Get(i) {
-			out.list = append(out.list, graph.NodeID(i))
-		}
-	}
-	out.count = int64(len(out.list))
-	return out
-}
-
-// Contains reports membership. The bitvector layout answers in O(1); the
-// sparse-list layout scans (callers that test membership in a loop should
-// convert with ToBitvector first, which is what the schedules do).
-func (vs *VertexSet) Contains(v graph.NodeID) bool {
-	if vs.layout == Bitvector {
-		return vs.bits.Get(int64(v))
-	}
-	for _, u := range vs.list {
-		if u == v {
-			return true
-		}
-	}
-	return false
+	return frontier.FromList(n, list)
 }
 
 // EdgesetApplyPush traverses out-edges of the frontier, calling apply(u,v)
 // for each; apply returns true when v newly enters the next frontier. The
 // output layout follows the schedule.
-func EdgesetApplyPush(exec *par.Machine, g *graph.Graph, frontier *VertexSet, layout FrontierLayout, workers int, apply func(u, v graph.NodeID) bool) *VertexSet {
-	src := frontier.ToList()
-	out := NewVertexSet(frontier.n, layout)
-	if layout == Bitvector {
-		exec.ForDynamic(len(src.list), 64, workers, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				u := src.list[i]
-				for _, v := range g.OutNeighbors(u) {
-					if apply(u, v) {
-						if out.bits.SetAtomic(int64(v)) {
-							atomic.AddInt64(&out.count, 1)
-						}
-					}
-				}
-			}
-		})
-		return out
-	}
-	// The collector lives inside the result set, which is heap-bound anyway:
-	// the closure captures only the out pointer, so a sweep allocates no
-	// extra cell for it.
-	exec.ForDynamic(len(src.list), 64, workers, func(lo, hi int) {
-		var local []graph.NodeID
-		for i := lo; i < hi; i++ {
-			u := src.list[i]
-			for _, v := range g.OutNeighbors(u) {
-				if apply(u, v) {
-					local = append(local, v)
-				}
-			}
-		}
-		out.collect.add(local)
-	})
-	out.list = out.collect.take()
-	out.count = int64(len(out.list))
-	return out
+func EdgesetApplyPush(exec *par.Machine, g *graph.Graph, cur *VertexSet, layout FrontierLayout, workers int, apply func(u, v graph.NodeID) bool) *VertexSet {
+	return frontier.Push(exec, g, cur, layout, workers, apply)
 }
 
 // EdgesetApplyPull scans vertices where cond holds, pulling over in-edges
 // from frontier members until applyTo accepts one; accepted vertices form
 // the next frontier (bitvector layout).
-func EdgesetApplyPull(exec *par.Machine, g *graph.Graph, frontier *VertexSet, workers int, cond func(v graph.NodeID) bool, applyTo func(u, v graph.NodeID) bool) *VertexSet {
-	fb := frontier.ToBitvector()
-	out := NewVertexSet(frontier.n, Bitvector)
-	// ReduceInt64 carries the per-chunk counts through the scheduler's own
-	// reduction, so the sweep captures no accumulator cell of its own.
-	out.count = exec.ReduceInt64(int(frontier.n), workers, func(lo, hi int) int64 {
-		var local int64
-		for vi := lo; vi < hi; vi++ {
-			v := graph.NodeID(vi)
-			if !cond(v) {
-				continue
-			}
-			for _, u := range g.InNeighbors(v) {
-				if fb.bits.Get(int64(u)) && applyTo(u, v) {
-					out.bits.SetAtomic(int64(v))
-					local++
-					break
-				}
-			}
-		}
-		return local
-	})
-	return out
+func EdgesetApplyPull(exec *par.Machine, g *graph.Graph, cur *VertexSet, workers int, cond func(v graph.NodeID) bool, applyTo func(u, v graph.NodeID) bool) *VertexSet {
+	return frontier.Pull(exec, g, cur, workers, cond, applyTo)
 }
-
-// chunkCollect merges per-chunk slices under one lock per flush.
-type chunkCollect struct {
-	mu  spinMutex
-	out []graph.NodeID
-}
-
-func (c *chunkCollect) add(local []graph.NodeID) {
-	if len(local) == 0 {
-		return
-	}
-	c.mu.Lock()
-	c.out = append(c.out, local...)
-	c.mu.Unlock()
-}
-
-func (c *chunkCollect) take() []graph.NodeID { return c.out }
-
-// reset detaches the collector from its previous round's slice (which the
-// caller keeps as the new frontier).
-func (c *chunkCollect) reset() { c.out = nil }
-
-// spinMutex is a tiny test-and-set lock; the critical sections here are a
-// few appends, far shorter than a sync.Mutex slow path.
-type spinMutex struct{ v atomic.Int32 }
-
-func (m *spinMutex) Lock() {
-	for !m.v.CompareAndSwap(0, 1) {
-	}
-}
-func (m *spinMutex) Unlock() { m.v.Store(0) }

@@ -16,16 +16,16 @@ func TestVertexSetConversions(t *testing.T) {
 	if vs.Size() != 3 {
 		t.Fatalf("Size = %d", vs.Size())
 	}
-	bv := vs.ToBitvector()
+	bv := vs.ToBitmap(par.Default(), 2)
 	if bv.Size() != 3 || !bv.Contains(50) || bv.Contains(4) {
 		t.Fatal("bitvector conversion wrong")
 	}
-	back := bv.ToList()
+	back := bv.ToList(par.Default(), 2)
 	if back.Size() != 3 {
 		t.Fatalf("round-trip Size = %d", back.Size())
 	}
 	got := map[graph.NodeID]bool{}
-	for _, v := range back.list {
+	for _, v := range back.List() {
 		got[v] = true
 	}
 	for _, v := range []graph.NodeID{3, 50, 99} {
@@ -252,7 +252,7 @@ func TestVertexSetContainsBothLayouts(t *testing.T) {
 	if !sp.Contains(7) || sp.Contains(3) {
 		t.Fatal("sparse Contains wrong")
 	}
-	bv := sp.ToBitvector()
+	bv := sp.ToBitmap(par.Default(), 2)
 	if !bv.Contains(2) || bv.Contains(0) {
 		t.Fatal("bitvector Contains wrong")
 	}

@@ -4,14 +4,16 @@ import (
 	"math"
 	"sync/atomic"
 
+	"gapbench/internal/frontier"
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
 	"gapbench/internal/par"
 )
 
 // bfs is the GraphIt BFS: edgeset-apply rounds with the traversal direction
-// chosen by the schedule (DirOpt per-round, or PushOnly for the Optimized
-// Road schedule that skips the active-vertex counting overhead, §V-A).
+// chosen by the schedule (DirOpt per-round via the shared Beamer dispatcher,
+// or PushOnly for the Optimized Road schedule that skips the active-vertex
+// counting overhead, §V-A).
 func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, sched Schedule, workers int) []graph.NodeID {
 	n := int64(g.NumNodes())
 	parent := make([]graph.NodeID, n)
@@ -22,23 +24,21 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, sched Schedule, wo
 		return parent
 	}
 	parent[src] = src
-	frontier := FromList(n, []graph.NodeID{src})
-	edgesToCheck := g.NumEdges()
-	scout := g.OutDegree(src)
-	const alpha, beta = 15, 18
+	front := FromList(n, []graph.NodeID{src})
+	disp := frontier.NewDispatcher(n, g.NumEdges(), g.OutDegree(src))
 	// One scout accumulator for the whole search: the apply closure captures
 	// the pointer by value, so no per-round heap cell is allocated.
 	newScout := new(atomic.Int64)
 
-	for frontier.Size() > 0 {
+	for front.Size() > 0 {
 		if exec.Interrupted() {
 			return parent // partial; the harness discards cancelled trials
 		}
 		usePull := sched.Direction == PullOnly ||
-			(sched.Direction == DirOpt && scout > edgesToCheck/alpha)
+			(sched.Direction == DirOpt && disp.UsePull())
 		if usePull {
-			awake := frontier.Size()
-			cur := frontier.ToBitvector()
+			awake := front.Size()
+			cur := front.ToBitmap(exec, workers)
 			for {
 				if exec.Interrupted() {
 					return parent
@@ -50,16 +50,16 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, sched Schedule, wo
 					func(u, v graph.NodeID) bool { parent[v] = u; return true })
 				awake = next.Size()
 				cur = next
-				if awake == 0 || !(awake >= prev || awake > n/beta) {
+				if !disp.KeepPulling(awake, prev) {
 					break
 				}
 			}
-			frontier = cur.ToList()
-			scout = 1
+			front = cur.ToList(exec, workers)
+			disp.EndPull()
 		} else {
-			edgesToCheck -= scout
+			disp.BeginPush()
 			newScout.Store(0)
-			frontier = EdgesetApplyPush(exec, g, frontier, sched.Frontier, workers, func(u, v graph.NodeID) bool {
+			front = EdgesetApplyPush(exec, g, front, sched.Frontier, workers, func(u, v graph.NodeID) bool {
 				if atomic.LoadInt32(&parent[v]) < 0 &&
 					atomic.CompareAndSwapInt32(&parent[v], -1, u) {
 					newScout.Add(g.OutDegree(v))
@@ -67,11 +67,10 @@ func bfs(exec *par.Machine, g *graph.Graph, src graph.NodeID, sched Schedule, wo
 				}
 				return false
 			})
-			scout = newScout.Load()
+			disp.EndPush(newScout.Load())
 			if sched.Direction == PushOnly {
 				// No active-vertex accounting in push-only schedules.
-				scout = 0
-				edgesToCheck = g.NumEdges()
+				disp.DisableAccounting()
 			}
 		}
 	}
@@ -208,21 +207,21 @@ func cc(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []graph.
 	if n == 0 {
 		return comp
 	}
-	frontier := make([]graph.NodeID, n)
-	for i := range frontier {
-		frontier[i] = graph.NodeID(i)
+	front := make([]graph.NodeID, n)
+	for i := range front {
+		front[i] = graph.NodeID(i)
 	}
 
 	// One collector for every propagation round: the chunk closures capture
 	// the pointer by value, so a round allocates no accumulator cell.
-	collect := new(chunkCollect)
+	collect := new(frontier.Collector)
 
-	for len(frontier) > 0 {
+	for len(front) > 0 {
 		if exec.Interrupted() {
 			return comp
 		}
-		collect.reset()
-		fr := frontier // read-only in the closure: captured by value
+		collect.Reset()
+		fr := front // read-only in the closure: captured by value
 		exec.ForDynamic(len(fr), 128, workers, func(lo, hi int) {
 			var local []graph.NodeID
 			for i := lo; i < hi; i++ {
@@ -237,9 +236,9 @@ func cc(exec *par.Machine, g *graph.Graph, sched Schedule, workers int) []graph.
 					}
 				}
 			}
-			collect.add(local)
+			collect.Add(local)
 		})
-		frontier = collect.take()
+		front = collect.Take()
 		if sched.ShortCircuit {
 			// Pointer-jump chains: comp[v] <- comp[comp[v]] to a fixed point.
 			exec.ForBlocked(n, workers, func(lo, hi int) {

@@ -1,54 +1,52 @@
 // Package graphit reproduces the GraphIt DSL the paper evaluates. GraphIt
 // separates what an algorithm computes from how it is executed; here the
-// "what" is written against a small edgeset-apply engine (engine.go) and the
-// "how" is a Schedule value — direction choice, frontier layout, bucket
-// fusion, cache tiling — selected per kernel by a heuristic autotuner in
-// Baseline mode and by per-graph specialization tables in Optimized mode,
-// exactly the split §III-D describes and §V exploits ("it used
-// schedules/optimizations specialized for the size and structure of the
+// "what" is written against the shared frontier library (internal/frontier,
+// consumed via thin shims in engine.go) and the "how" is a Schedule value —
+// direction choice, frontier layout, bucket fusion, cache tiling — selected
+// per kernel by a heuristic autotuner in Baseline mode and by per-graph
+// specialization tables (or a persisted `gapbench -tune` result) in
+// Optimized mode, exactly the split §III-D describes and §V exploits ("it
+// used schedules/optimizations specialized for the size and structure of the
 // graphs for the Optimized case. This was not allowed for the Baseline").
 package graphit
 
 import (
+	"gapbench/internal/frontier"
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
+	"gapbench/internal/tune"
 )
 
-// Direction is an edge-traversal direction choice.
-type Direction int
+// Direction is an edge-traversal direction choice (shared with the tuner).
+type Direction = tune.Direction
 
 // Traversal directions the scheduling language exposes.
 const (
-	// DirOpt switches between push and pull per round using frontier size.
-	DirOpt Direction = iota
+	// DirOpt switches between push and pull per round via the Beamer
+	// degree-sum dispatcher.
+	DirOpt = tune.DirOpt
 	// PushOnly always traverses from the frontier outward (no per-round
-	// size check — the Optimized-mode Road BFS trick from §V-A).
-	PushOnly
+	// accounting — the Optimized-mode Road BFS trick from §V-A).
+	PushOnly = tune.PushOnly
 	// PullOnly always traverses into unvisited vertices.
-	PullOnly
+	PullOnly = tune.PullOnly
 )
 
 // FrontierLayout selects the vertexset representation.
-type FrontierLayout int
+type FrontierLayout = frontier.Layout
 
 // Frontier layouts.
 const (
 	// SparseList stores frontier vertices as an index list.
-	SparseList FrontierLayout = iota
+	SparseList = frontier.SparseList
 	// Bitvector stores the frontier as a bitmap — "advantageous when there
 	// are many active elements" (§V-E).
-	Bitvector
+	Bitvector = frontier.Bitmap
 )
 
-// Schedule is one point in GraphIt's optimization space.
-type Schedule struct {
-	Direction    Direction
-	Frontier     FrontierLayout
-	BucketFusion bool // SSSP: process same-priority buckets without a barrier
-	CacheTiling  bool // PR/CC: segment in-edges into cache-sized tiles
-	ShortCircuit bool // CC label propagation: pointer-jump chains
-	NumSegments  int  // tile count when CacheTiling is set
-}
+// Schedule is one point in GraphIt's optimization space (the shared tuner's
+// schedule type, so tuned entries round-trip through the store unchanged).
+type Schedule = tune.Schedule
 
 // autotune returns the Baseline-mode schedule for a kernel: run-time
 // heuristics only, no knowledge of which benchmark graph this is (the paper
@@ -106,10 +104,21 @@ func specialize(kernelName string, g *graph.Graph, opt kernel.Options) Schedule 
 	return s
 }
 
-// scheduleFor picks the schedule under the active rule set.
+// scheduleFor picks the schedule under the active rule set. Optimized runs
+// consult the persistent tuned-schedule store first (written by `gapbench
+// -tune`, keyed by the graph's build epoch — a cached field, so the lookup
+// costs one map probe on the timed path), then fall back to the per-graph
+// specialization tables; Baseline runs use run-time heuristics only.
 func scheduleFor(kernelName string, g *graph.Graph, opt kernel.Options) Schedule {
-	if opt.Mode == kernel.Optimized && opt.GraphName != "" {
-		return specialize(kernelName, g, opt)
+	if opt.Mode == kernel.Optimized {
+		if opt.Schedules != nil {
+			if s, ok := opt.Schedules.Lookup(kernelName, g.Epoch(), opt.Mode.String()); ok {
+				return s
+			}
+		}
+		if opt.GraphName != "" {
+			return specialize(kernelName, g, opt)
+		}
 	}
 	return autotune(kernelName, g)
 }
@@ -117,11 +126,5 @@ func scheduleFor(kernelName string, g *graph.Graph, opt kernel.Options) Schedule
 // segmentsFor sizes PR's cache tiles so each segment's source-vertex range
 // fits roughly in a per-core cache slice.
 func segmentsFor(g *graph.Graph) int {
-	const targetVerticesPerSegment = 1 << 15
-	n := int(g.NumNodes())
-	segs := (n + targetVerticesPerSegment - 1) / targetVerticesPerSegment
-	if segs < 1 {
-		segs = 1
-	}
-	return segs
+	return tune.SegmentsFor(int64(g.NumNodes()))
 }

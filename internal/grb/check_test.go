@@ -107,7 +107,7 @@ func TestGrbcheckCorruptedVector(t *testing.T) {
 		q := NewFull[int64](a.NCols(), 1)
 		q.dense = q.dense[:len(q.dense)-1] // corrupt: short array
 		mustPanic(t, func() { MxVFull(par.Default(), a, q, MinFirst(), 1) },
-			"MxVFull input q", "dense-length")
+			"MxVFullInto input q", "dense-length")
 	})
 
 	t.Run("bitmap presence bitset wrong length", func(t *testing.T) {

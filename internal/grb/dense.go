@@ -1,6 +1,10 @@
 package grb
 
-import "gapbench/internal/par"
+import (
+	"math/bits"
+
+	"gapbench/internal/par"
+)
 
 // DenseMatrix is a k-by-n dense matrix with structural presence per entry —
 // the "dense and 4-by-n" operand §V-E says dominates LAGraph's batched
@@ -92,6 +96,116 @@ func DenseMxM(exec *par.Machine, f *DenseMatrix, a *Matrix, rowMask func(r int) 
 			nw = 1
 		}
 		partial := make([][]contrib, nw)
+		exec.ForWorker(len(active), workers, func(w, lo, hi int) {
+			var local []contrib
+			for i := lo; i < hi; i++ {
+				k := active[i]
+				x := src[k]
+				cols, _ := a.Row(k)
+				for _, j := range cols {
+					if mask.Allow(j) {
+						local = append(local, contrib{j, x})
+					}
+				}
+			}
+			partial[w] = local
+		})
+		for _, local := range partial {
+			for _, e := range local {
+				if dstPres.Get(e.j) {
+					dst[e.j] += e.x
+				} else {
+					dst[e.j] = e.x
+					dstPres.Set(e.j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DenseMxMDir is DenseMxM with per-row Beamer dispatch: each root row decides
+// push vs pull independently from its own running accounting in st[r] (nil
+// entries pin push, matching DenseMxM). The scout count is the degree sum of
+// the row's present columns — one hub root can carry more scatter work than
+// thousands of road roots at the same frontier size, so per-row vertex counts
+// would misprice the batch. Push scatters like DenseMxM; pull gathers over
+// at's rows restricted to the row mask's survivors (plus_first semantics),
+// machine-parallel in dynamic chunks so the cancel token is polled between
+// chunks.
+func DenseMxMDir(exec *par.Machine, f *DenseMatrix, a, at *Matrix, rowMask func(r int) *Mask, st []*PushPullState, workers int) *DenseMatrix {
+	checkMatrix("DenseMxMDir input A", a)
+	checkMatrix("DenseMxMDir input A'", at)
+	out := NewDenseMatrix(f.rows, f.n)
+	if workers < 1 {
+		workers = 1
+	}
+	for r := 0; r < f.rows; r++ {
+		mask := rowMask(r)
+		checkMask("DenseMxMDir row mask", mask, a.ncols)
+		src := f.val[r]
+		pres := f.pres[r]
+		dst := out.val[r]
+		dstPres := out.pres[r]
+		// Word-scan gather of the present source columns, summing their a-row
+		// degrees along the way (this root's scout count).
+		var active []Index
+		var scout Index
+		for wi, w := range pres.words {
+			base := Index(wi) << 6
+			for ; w != 0; w &= w - 1 {
+				k := base + Index(bits.TrailingZeros64(w))
+				active = append(active, k)
+				scout += a.RowDegree(k)
+			}
+		}
+		var rst *PushPullState
+		if st != nil {
+			rst = st[r]
+		}
+		pull := rst != nil && (rst.Policy == DirPull ||
+			(rst.Policy == DirAuto && rst.Alpha > 0 && scout > rst.edgesToCheck/Index(rst.Alpha)))
+		if pull {
+			pullRow := func(j Index) {
+				cols, _ := at.Row(j)
+				var acc float64
+				hit := false
+				for _, k := range cols {
+					if pres.Get(k) {
+						acc += src[k]
+						hit = true
+					}
+				}
+				if hit {
+					dst[j] = acc
+					dstPres.SetAtomic(j)
+				}
+			}
+			if rows, ok := maskSurvivorRows(exec, mask, at.nrows, nil, workers); ok {
+				exec.ForDynamic(len(rows), 64, workers, func(lo, hi int) {
+					for t := lo; t < hi; t++ {
+						pullRow(rows[t])
+					}
+				})
+			} else {
+				// No mask: every output column is live.
+				exec.ForDynamic(int(at.nrows), 64, workers, func(lo, hi int) {
+					for t := lo; t < hi; t++ {
+						pullRow(Index(t))
+					}
+				})
+			}
+			continue
+		}
+		if rst != nil {
+			rst.edgesToCheck -= scout
+		}
+		// Push: the DenseMxM scatter path over the pre-gathered active columns.
+		type contrib struct {
+			j Index
+			x float64
+		}
+		partial := make([][]contrib, workers)
 		exec.ForWorker(len(active), workers, func(w, lo, hi int) {
 			var local []contrib
 			for i := lo; i < hi; i++ {

@@ -1,6 +1,8 @@
 package grb
 
 import (
+	"fmt"
+
 	"gapbench/internal/par"
 )
 
@@ -23,6 +25,15 @@ type entry[T Number] struct {
 // (SuiteSparse's pre-generated kernels); anything else runs the generic
 // operator-pointer path.
 func VxM[T Number](exec *par.Machine, q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, workers int) *Vector[T] {
+	out := &Vector[T]{n: q.n, format: Bitmap, dense: make([]T, q.n), present: NewBitset(q.n)}
+	vxmInto(exec, q, a, s, mask, out, workers)
+	return out
+}
+
+// vxmInto is VxM writing into a caller-provided bitmap-format output whose
+// presence bitset is clear (the dense backing may hold stale values — every
+// write below marks presence first-write-wins, so stale slots stay hidden).
+func vxmInto[T Number](exec *par.Machine, q *Vector[T], a *Matrix, s Semiring[T], mask *Mask, out *Vector[T], workers int) {
 	checkVector("VxM input q", q)
 	checkMatrix("VxM input A", a)
 	checkMask("VxM mask", mask, a.ncols)
@@ -36,8 +47,21 @@ func VxM[T Number](exec *par.Machine, q *Vector[T], a *Matrix, s Semiring[T], ma
 	// worker over a static partition of the stored q entries (the same
 	// bulk-synchronous structure as the old hand-rolled fork-join, minus the
 	// per-operation goroutine spawn GraphBLAS pays for on tiny frontiers).
+	// Frontiers whose scatter is smaller than a region launch skip the
+	// machine entirely and run the same body in the calling goroutine.
+	serial := false
+	if nq <= 64 {
+		var scout Index
+		for _, k := range qs.ind {
+			scout += a.RowDegree(k)
+		}
+		serial = scout <= 2048
+	}
+	if serial {
+		workers = 1
+	}
 	partial := make([][]entry[T], workers)
-	exec.ForWorker(nq, workers, func(w, lo, hi int) {
+	scatter := func(w, lo, hi int) {
 		var local []entry[T]
 		for t := lo; t < hi; t++ {
 			k := qs.ind[t]
@@ -77,9 +101,13 @@ func VxM[T Number](exec *par.Machine, q *Vector[T], a *Matrix, s Semiring[T], ma
 			}
 		}
 		partial[w] = local
-	})
+	}
+	if serial {
+		scatter(0, 0, nq)
+	} else {
+		exec.ForWorker(nq, workers, scatter)
+	}
 
-	out := &Vector[T]{n: q.n, format: Bitmap, dense: make([]T, q.n), present: NewBitset(q.n)}
 	merge := func(combine func(old, new T) T) {
 		for _, local := range partial {
 			for _, e := range local {
@@ -108,7 +136,6 @@ func VxM[T Number](exec *par.Machine, q *Vector[T], a *Matrix, s Semiring[T], ma
 		merge(s.Monoid.Op)
 	}
 	checkVector("VxM output", out)
-	return out
 }
 
 // MxV computes w<mask> = A * q over the semiring: a pull-style product that
@@ -213,10 +240,22 @@ func MxV[T Number](exec *par.Machine, a *Matrix, q *Vector[T], s Semiring[T], ma
 // produced (no mask, no sparsity): the SpMV at the heart of PageRank and
 // FastSV. Built-in semirings run specialized loops.
 func MxVFull[T Number](exec *par.Machine, a *Matrix, q *Vector[T], s Semiring[T], workers int) *Vector[T] {
-	checkVector("MxVFull input q", q)
-	checkMatrix("MxVFull input A", a)
-	dense := q.Dense()
 	out := NewFull[T](a.nrows, s.Monoid.Identity)
+	MxVFullInto(exec, a, q, s, out, workers)
+	return out
+}
+
+// MxVFullInto is MxVFull writing into the caller's full vector out (length
+// a.nrows): every output position is overwritten, so round loops can reuse
+// one scratch vector per run instead of materializing a fresh result each
+// iteration — the PR/CC per-round allocation hoist.
+func MxVFullInto[T Number](exec *par.Machine, a *Matrix, q *Vector[T], s Semiring[T], out *Vector[T], workers int) {
+	checkVector("MxVFullInto input q", q)
+	checkMatrix("MxVFullInto input A", a)
+	if out.format == Sparse || Index(len(out.dense)) != a.nrows {
+		panic(fmt.Sprintf("grb: MxVFullInto output must be a full/bitmap vector of length %d", a.nrows))
+	}
+	dense := q.Dense()
 	res := out.Dense()
 	switch s.Kind {
 	case KindPlusFirst:
@@ -230,7 +269,7 @@ func MxVFull[T Number](exec *par.Machine, a *Matrix, q *Vector[T], s Semiring[T]
 				res[i] = acc
 			}
 		})
-		return out
+		return
 	case KindMinFirst:
 		exec.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -244,7 +283,7 @@ func MxVFull[T Number](exec *par.Machine, a *Matrix, q *Vector[T], s Semiring[T]
 				res[i] = acc
 			}
 		})
-		return out
+		return
 	}
 	exec.ForBlocked(int(a.nrows), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -260,7 +299,6 @@ func MxVFull[T Number](exec *par.Machine, a *Matrix, q *Vector[T], s Semiring[T]
 			res[i] = acc
 		}
 	})
-	return out
 }
 
 // ScatterMin performs dst[idx[t]] = min(dst[idx[t]], val[t]) over full int64

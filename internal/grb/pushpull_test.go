@@ -1,0 +1,256 @@
+package grb
+
+import (
+	"testing"
+
+	"gapbench/internal/graph"
+	"gapbench/internal/par"
+)
+
+// pushPullMatrices builds the canonical 4-vertex test graph (0->1, 1->2,
+// 2->0, 2->3) as (A, A').
+func pushPullMatrices(t *testing.T) (*Matrix, *Matrix) {
+	t.Helper()
+	g, err := graph.BuildWeighted([]graph.WEdge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 3}, {U: 2, V: 0, W: 1}, {U: 2, V: 3, W: 9},
+	}, graph.BuildOptions{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromGraph(g, false, false), FromGraph(g, true, false)
+}
+
+func sameVector(t *testing.T, label string, a, b *Vector[int64]) {
+	t.Helper()
+	if a.Size() != b.Size() {
+		t.Fatalf("%s: sizes %d vs %d", label, a.Size(), b.Size())
+	}
+	for i := Index(0); i < a.Size(); i++ {
+		av, aok := a.Extract(i)
+		bv, bok := b.Extract(i)
+		if aok != bok || (aok && av != bv) {
+			t.Fatalf("%s: index %d: (%v,%v) vs (%v,%v)", label, i, av, aok, bv, bok)
+		}
+	}
+}
+
+// TestPushPullVxMDirectionsAgree runs the same masked product pinned to each
+// direction and freed, and asserts all three agree with the plain VxM on a
+// non-ANY semiring (exact value equality holds there).
+func TestPushPullVxMDirectionsAgree(t *testing.T) {
+	a, at := pushPullMatrices(t)
+	s := MinFirst()
+	visited := NewBitset(a.NRows())
+	visited.Set(0)
+	mask := NewMask(visited, true) // complement: row 0 already settled
+
+	q := NewSparse[int64](a.NRows())
+	q.SetElement(0, 7)
+	q.SetElement(2, 4)
+	want := VxM(par.Default(), q, a, s, mask, 2)
+
+	for _, tc := range []struct {
+		name   string
+		policy DirPolicy
+	}{{"push", DirPush}, {"pull", DirPull}, {"auto", DirAuto}} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := NewPushPullState(a, tc.policy)
+			got := PushPullVxM(par.Default(), q, a, at, s, mask, st, 2)
+			sameVector(t, tc.name, want, got)
+		})
+	}
+
+	// nil state defaults to fresh auto accounting.
+	sameVector(t, "nil-state", want, PushPullVxM(par.Default(), q, a, at, s, mask, nil, 2))
+}
+
+// TestPushPullVxMAutoFlipsToPull: once the frontier's degree sum exceeds the
+// remaining unexplored-edge budget over alpha, the auto policy must gather.
+func TestPushPullVxMAutoFlipsToPull(t *testing.T) {
+	a, at := pushPullMatrices(t)
+	st := NewPushPullState(a, DirAuto)
+	st.edgesToCheck = 0 // exhausted budget: any nonzero scout must pull
+	st.FloorOff = true  // isolate the alpha test from the survivor floor
+	q := NewSparse[int64](a.NRows())
+	q.SetElement(2, 4) // out-degree 2: scout > 0/alpha
+	got := PushPullVxM(par.Default(), q, a, at, MinFirst(), nil, st, 2)
+	sameVector(t, "forced-auto-pull", MxV(par.Default(), at, q, MinFirst(), nil, 2), got)
+	if st.edgesToCheck != 0 {
+		t.Fatal("pull rounds must not consume the push budget")
+	}
+}
+
+// TestPushPullVxMFloorKeepsThinFrontierPushing: even with the alpha test
+// satisfied, auto must push while the scout degree sum cannot cover the
+// pull gather's per-survivor-row floor.
+func TestPushPullVxMFloorKeepsThinFrontierPushing(t *testing.T) {
+	a, at := pushPullMatrices(t)
+	st := NewPushPullState(a, DirAuto)
+	st.edgesToCheck = 0 // alpha test passes on any nonzero scout
+	q := NewSparse[int64](a.NRows())
+	q.SetElement(2, 4)                                                 // scout 2
+	got := PushPullVxM(par.Default(), q, a, at, MinFirst(), nil, st, 2) // floor = 4 rows
+	sameVector(t, "floor-forced-push", MxV(par.Default(), at, q, MinFirst(), nil, 2), got)
+	if st.edgesToCheck == 0 {
+		t.Fatal("untouched push budget: the thin frontier pulled instead of pushing")
+	}
+	if pullFloor(nil, a.NRows()) != a.NRows() {
+		t.Fatalf("nil-mask pullFloor = %d, want nrows %d", pullFloor(nil, a.NRows()), a.NRows())
+	}
+	// Disabling the floor restores the alpha-only dispatch: same operands
+	// now gather (the budget stays untouched).
+	st.FloorOff = true
+	st.edgesToCheck = 0
+	if PushPullVxM(par.Default(), q, a, at, MinFirst(), nil, st, 2) == nil {
+		t.Fatal("FloorOff dispatch returned nil")
+	}
+	if st.edgesToCheck != 0 {
+		t.Fatal("FloorOff dispatch consumed the push budget: it pushed instead of pulling")
+	}
+}
+
+func TestFrontierScoutCountsDegrees(t *testing.T) {
+	a, _ := pushPullMatrices(t)
+	q := NewSparse[int64](a.NRows())
+	q.SetElement(1, 1) // deg 1
+	q.SetElement(2, 1) // deg 2
+	if got := frontierScout(par.Default(), a, q, 2); got != 3 {
+		t.Fatalf("sparse scout = %d, want 3", got)
+	}
+	if got := frontierScout(par.Default(), a, q.ToBitmap(), 2); got != 3 {
+		t.Fatalf("bitmap scout = %d, want 3", got)
+	}
+	full := NewFull[int64](a.NRows(), 1)
+	if got := frontierScout(par.Default(), a, full, 2); got != a.NVals() {
+		t.Fatalf("full scout = %d, want every edge (%d)", got, a.NVals())
+	}
+}
+
+func TestMaskSurvivorRows(t *testing.T) {
+	const n = Index(70) // spills one word: tail bits past n must not survive ^w
+	set := NewBitset(n)
+	for _, i := range []Index{0, 1, 64, 69} {
+		set.Set(i)
+	}
+
+	t.Run("nil mask", func(t *testing.T) {
+		if rows, ok := maskSurvivorRows(par.Default(), nil, n, nil, 2); ok || rows != nil {
+			t.Fatal("nil mask must report no survivor list")
+		}
+	})
+	t.Run("plain", func(t *testing.T) {
+		rows, ok := maskSurvivorRows(par.Default(), NewMask(set, false), n, nil, 2)
+		if !ok || len(rows) != 4 {
+			t.Fatalf("got %d survivors, want the 4 set rows", len(rows))
+		}
+		for i, want := range []Index{0, 1, 64, 69} {
+			if rows[i] != want {
+				t.Fatalf("rows[%d] = %d, want %d", i, rows[i], want)
+			}
+		}
+	})
+	t.Run("complement clears tail", func(t *testing.T) {
+		rows, ok := maskSurvivorRows(par.Default(), NewMask(set, true), n, nil, 2)
+		if !ok || Index(len(rows)) != n-4 {
+			t.Fatalf("got %d survivors, want %d", len(rows), n-4)
+		}
+		for k, r := range rows {
+			if r >= n {
+				t.Fatalf("survivor %d past n=%d: complement invented a tail row", r, n)
+			}
+			if set.Get(r) {
+				t.Fatalf("survivor %d is masked off", r)
+			}
+			if k > 0 && rows[k-1] >= r {
+				t.Fatal("survivor list must be sorted")
+			}
+		}
+	})
+}
+
+// TestMaskSurvivorRowsParallelGather drives the two-pass machine-parallel
+// path (above the serial word cutoff) and checks it against the serial
+// semantics.
+func TestMaskSurvivorRowsParallelGather(t *testing.T) {
+	const n = Index(4097*64 + 13)
+	set := NewBitset(n)
+	for i := Index(0); i < n; i += 2 {
+		set.Set(i)
+	}
+	m := par.NewMachine(4)
+	defer m.Close()
+	rows, ok := maskSurvivorRows(m, NewMask(set, true), n, nil, 4)
+	if !ok {
+		t.Fatal("expected a survivor list")
+	}
+	want := n / 2 // odd indices survive the complement (n is odd: (n-1)/2+... = n/2 rounded down)
+	if Index(len(rows)) != want {
+		t.Fatalf("got %d survivors, want %d", len(rows), want)
+	}
+	for k, r := range rows {
+		if r != Index(2*k+1) {
+			t.Fatalf("rows[%d] = %d, want %d", k, r, 2*k+1)
+		}
+	}
+}
+
+// TestDenseMxMDirMatchesDenseMxM pins each direction per row and asserts the
+// batched product matches the push-only reference.
+func TestDenseMxMDirMatchesDenseMxM(t *testing.T) {
+	a, at := pushPullMatrices(t)
+	n := a.NRows()
+	f := NewDenseMatrix(2, n)
+	f.Set(0, 2, 1.5)
+	f.Set(1, 0, 2.0)
+	f.Set(1, 1, 3.0)
+	visited := []*Bitset{NewBitset(n), NewBitset(n)}
+	visited[0].Set(2)
+	visited[1].Set(0)
+	rowMask := func(r int) *Mask { return NewMask(visited[r], true) }
+
+	want := DenseMxM(par.Default(), f, a, rowMask, 2)
+	for _, tc := range []struct {
+		name string
+		st   []*PushPullState
+	}{
+		{"nil states (push)", nil},
+		{"pinned push", []*PushPullState{NewPushPullState(a, DirPush), NewPushPullState(a, DirPush)}},
+		{"pinned pull", []*PushPullState{NewPushPullState(a, DirPull), NewPushPullState(a, DirPull)}},
+		{"mixed", []*PushPullState{NewPushPullState(a, DirPull), NewPushPullState(a, DirPush)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DenseMxMDir(par.Default(), f, a, at, rowMask, tc.st, 2)
+			for r := 0; r < 2; r++ {
+				for c := Index(0); c < n; c++ {
+					wv, wok := want.Get(r, c)
+					gv, gok := got.Get(r, c)
+					if wok != gok || (wok && wv != gv) {
+						t.Fatalf("row %d col %d: (%v,%v) vs (%v,%v)", r, c, wv, wok, gv, gok)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPushPullCancelTerminates is the cancel-liveness contract: the pull
+// gather and its survivor scan poll the machine token at chunk boundaries, so
+// an already-cancelled machine returns promptly.
+func TestPushPullCancelTerminates(t *testing.T) {
+	if grbcheckEnabled {
+		t.Skip("partial cancelled products legitimately fail the sanitizer's equivalence recheck")
+	}
+	a, at := pushPullMatrices(t)
+	m := par.NewMachine(2)
+	defer m.Close()
+	tok := par.NewCancelToken()
+	tok.Cancel()
+	m.SetCancel(tok)
+	defer m.SetCancel(nil)
+	q := NewSparse[int64](a.NRows())
+	q.SetElement(0, 7)
+	st := NewPushPullState(a, DirPull)
+	if out := PushPullVxM(m, q, a, at, MinFirst(), nil, st, 2); out == nil {
+		t.Fatal("cancelled PushPullVxM returned nil")
+	}
+}

@@ -1,6 +1,9 @@
 package grb
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Format is a vector's internal representation. SuiteSparse keeps vectors in
 // one of several opaque formats and converts between them as operations
@@ -131,14 +134,36 @@ func (v *Vector[T]) Extract(i Index) (T, bool) {
 }
 
 // ToSparse converts the vector to sparse format (a full scan when coming
-// from bitmap/full — deliberately timed work).
+// from bitmap/full — deliberately timed work). The bitmap path scans the
+// presence words with popcount/trailing-zero extraction, skipping empty
+// words outright: on a nearly-empty frontier the scan cost is O(n/64) word
+// loads instead of n per-index probes, which is what stops GraphBLAS BFS
+// from paying a dense scan per round on high-diameter graphs.
 func (v *Vector[T]) ToSparse() *Vector[T] {
 	if v.format == Sparse {
 		return v
 	}
 	out := &Vector[T]{n: v.n, format: Sparse}
-	for i := Index(0); i < v.n; i++ {
-		if v.format == Full || v.present.Get(i) {
+	if v.format == Full {
+		out.ind = make([]Index, v.n)
+		out.val = make([]T, v.n)
+		for i := Index(0); i < v.n; i++ {
+			out.ind[i] = i
+			out.val[i] = v.dense[i]
+		}
+		return out
+	}
+	words := v.present.words
+	nv := 0
+	for _, w := range words {
+		nv += bits.OnesCount64(w)
+	}
+	out.ind = make([]Index, 0, nv)
+	out.val = make([]T, 0, nv)
+	for wi, w := range words {
+		base := Index(wi) << 6
+		for ; w != 0; w &= w - 1 {
+			i := base + Index(bits.TrailingZeros64(w))
 			out.ind = append(out.ind, i)
 			out.val = append(out.val, v.dense[i])
 		}
@@ -188,7 +213,9 @@ func (v *Vector[T]) Structure() *Bitset {
 	}
 }
 
-// Iterate calls fn for every stored entry in ascending index order.
+// Iterate calls fn for every stored entry in ascending index order. The
+// bitmap path walks the presence words directly (zero words cost one load),
+// like ToSparse.
 func (v *Vector[T]) Iterate(fn func(i Index, x T)) {
 	switch v.format {
 	case Sparse:
@@ -196,8 +223,10 @@ func (v *Vector[T]) Iterate(fn func(i Index, x T)) {
 			fn(i, v.val[k])
 		}
 	case Bitmap:
-		for i := Index(0); i < v.n; i++ {
-			if v.present.Get(i) {
+		for wi, w := range v.present.words {
+			base := Index(wi) << 6
+			for ; w != 0; w &= w - 1 {
+				i := base + Index(bits.TrailingZeros64(w))
 				fn(i, v.dense[i])
 			}
 		}
@@ -243,6 +272,24 @@ func AssignMasked[T Number](dst, src *Vector[T], mask *Mask) {
 	checkVector("AssignMasked dst", dst)
 	checkVector("AssignMasked src", src)
 	checkMask("AssignMasked mask", mask, dst.n)
+	// pi<q> = q with q's own structure as the mask (the BFS accumulate) is a
+	// word-level bitset union plus value copies — no per-entry format switch.
+	if dst.format == Bitmap && src.format == Bitmap &&
+		mask != nil && !mask.complement && mask.present == src.present {
+		dw, sw := dst.present.words, src.present.words
+		for wi, w := range sw {
+			if w == 0 {
+				continue
+			}
+			dw[wi] |= w
+			base := Index(wi) << 6
+			for ; w != 0; w &= w - 1 {
+				i := base + Index(bits.TrailingZeros64(w))
+				dst.dense[i] = src.dense[i]
+			}
+		}
+		return
+	}
 	src.Iterate(func(i Index, x T) {
 		if mask.Allow(i) {
 			dst.SetElement(i, x)

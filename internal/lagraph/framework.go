@@ -106,8 +106,15 @@ func (f *Framework) matrices(g *graph.Graph, undirected *graph.Graph) *matrices 
 
 // BFS implements kernel.Framework.
 func (f *Framework) BFS(g *graph.Graph, src graph.NodeID, opt kernel.Options) []graph.NodeID {
+	return f.BFSWithPolicy(g, src, opt, grb.DirAuto)
+}
+
+// BFSWithPolicy is BFS with the direction dispatch pinned (grb.DirPush /
+// grb.DirPull) or freed (grb.DirAuto) — the hook the push-vs-pull crossover
+// benchmarks use to measure each direction in isolation.
+func (f *Framework) BFSWithPolicy(g *graph.Graph, src graph.NodeID, opt kernel.Options, policy grb.DirPolicy) []graph.NodeID {
 	m := f.matrices(g, opt.UndirectedView)
-	pi := bfsParents(opt.Exec(), m, grb.Index(src), opt.EffectiveWorkers())
+	pi := bfsParents(opt.Exec(), m, grb.Index(src), policy, opt.EffectiveWorkers())
 	// Export the 64-bit GraphBLAS vector into the shared 32-bit convention.
 	out := make([]graph.NodeID, g.NumNodes())
 	for i := range out {

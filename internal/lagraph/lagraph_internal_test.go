@@ -79,7 +79,7 @@ func TestBFSParentsVector(t *testing.T) {
 	for g.OutDegree(graph.NodeID(src)) == 0 {
 		src++
 	}
-	pi := bfsParents(par.Default(), m, src, 2)
+	pi := bfsParents(par.Default(), m, src, grb.DirAuto, 2)
 	if p, ok := pi.Extract(src); !ok || p != int64(src) {
 		t.Fatalf("source parent = %v,%v", p, ok)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	ft "gapbench/internal/frontier"
 	"gapbench/internal/graph"
 	"gapbench/internal/kernel"
 	"gapbench/internal/par"
@@ -13,7 +14,10 @@ import (
 // untuned switch criterion (§V-A: "a straightforward, initial implementation
 // ... no fine tuning of the switching criteria"). Frontiers are freshly
 // allocated vectors each round — the STL-vector reliance whose overhead the
-// paper observes "was particularly noticeable for Road".
+// paper observes "was particularly noticeable for Road". The bottom-up
+// membership test opts in to the shared frontier library: the sparse round
+// frontier converts to a frontier.Set bitmap (a timed conversion, like the
+// std::vector<bool> build it replaces) and Contains answers the probes.
 func BFS[G BidirectionalAdjacency](exec *par.Machine, g G, src Vertex, workers int) []Vertex {
 	n := g.NumVertices()
 	parent := make([]Vertex, n)
@@ -32,10 +36,7 @@ func BFS[G BidirectionalAdjacency](exec *par.Machine, g G, src Vertex, workers i
 		}
 		if len(frontier) > n/20 {
 			// Bottom-up: scan all unvisited vertices.
-			inFrontier := make([]bool, n) // fresh each switch, like a std::vector<bool>
-			for _, u := range frontier {
-				inFrontier[u] = true
-			}
+			inFrontier := ft.FromList(int64(n), frontier).ToBitmap(exec, workers)
 			var collect nextCollect
 			exec.ForBlocked(n, workers, func(lo, hi int) {
 				var local []Vertex
@@ -47,7 +48,7 @@ func BFS[G BidirectionalAdjacency](exec *par.Machine, g G, src Vertex, workers i
 					}
 					//gapvet:ignore escape-in-kernel -- internal-iterator callback: the per-vertex lambda is the abstraction cost the paper observes for NWGraph; hoisting it would misstate the framework
 					g.InNeighbors(v, func(u Vertex) bool {
-						if inFrontier[u] {
+						if inFrontier.Contains(u) {
 							parent[v] = u
 							local = append(local, v)
 							return false

@@ -1,0 +1,85 @@
+// Package tune is the schedule-tuning layer grown out of GraphIt's
+// miniature autotuner: the schedule vocabulary (direction, frontier layout,
+// bucket fusion, cache tiling), the exhaustive per-kernel schedule space, a
+// timed explorer, and a persistent store keyed by (kernel, graph Epoch,
+// mode) so that `gapbench -tune` can write tuned schedules in one process
+// and later runs can load them — the paper's Optimized rule set ("They were
+// not required to include the time for such tuning efforts") made
+// self-driving across processes via the PR 8 graph identity.
+package tune
+
+import "gapbench/internal/frontier"
+
+// Direction is an edge-traversal direction choice.
+type Direction int
+
+// Traversal directions the scheduling language exposes.
+const (
+	// DirOpt switches between push and pull per round using the Beamer
+	// degree-sum dispatcher (frontier.Dispatcher).
+	DirOpt Direction = iota
+	// PushOnly always traverses from the frontier outward (no per-round
+	// accounting — the Optimized-mode Road BFS trick from §V-A).
+	PushOnly
+	// PullOnly always traverses into unvisited vertices.
+	PullOnly
+)
+
+// Schedule is one point in the optimization space. It is a comparable value
+// type (no slices/maps) so explorers and stores can use == directly.
+type Schedule struct {
+	Direction    Direction
+	Frontier     frontier.Layout
+	BucketFusion bool // SSSP: process same-priority buckets without a barrier
+	CacheTiling  bool // PR/CC: segment in-edges into cache-sized tiles
+	ShortCircuit bool // CC label propagation: pointer-jump chains
+	NumSegments  int  // tile count when CacheTiling is set
+}
+
+// SegmentsFor sizes cache tiles for an n-vertex graph so each segment's
+// source-vertex range fits roughly in a per-core cache slice.
+func SegmentsFor(n int64) int {
+	const targetVerticesPerSegment = 1 << 15
+	segs := int((n + targetVerticesPerSegment - 1) / targetVerticesPerSegment)
+	if segs < 1 {
+		segs = 1
+	}
+	return segs
+}
+
+// Space enumerates the meaningful schedule points for a kernel on an
+// n-vertex graph. The enumeration is deterministic: the same (kernel, n)
+// always yields the same candidates in the same order, which is what makes
+// stored tuning results comparable across runs.
+func Space(kernelName string, n int64) []Schedule {
+	segs := SegmentsFor(n)
+	switch kernelName {
+	case "bfs":
+		return []Schedule{
+			{Direction: DirOpt, Frontier: frontier.SparseList},
+			{Direction: DirOpt, Frontier: frontier.Bitmap},
+			{Direction: PushOnly, Frontier: frontier.SparseList},
+		}
+	case "sssp":
+		return []Schedule{
+			{Direction: PushOnly, BucketFusion: true},
+			{Direction: PushOnly, BucketFusion: false},
+		}
+	case "pr":
+		return []Schedule{
+			{CacheTiling: false},
+			{CacheTiling: true, NumSegments: segs},
+			{CacheTiling: true, NumSegments: 2 * segs},
+		}
+	case "cc":
+		return []Schedule{
+			{ShortCircuit: false},
+			{ShortCircuit: true},
+		}
+	default: // bc
+		return []Schedule{
+			{Direction: DirOpt, Frontier: frontier.Bitmap},
+			{Direction: DirOpt, Frontier: frontier.SparseList},
+		}
+	}
+}

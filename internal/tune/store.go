@@ -1,0 +1,133 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Entry is one tuned schedule: the winning point for a kernel on a concrete
+// graph build under one rule set, with the time that won it.
+type Entry struct {
+	Kernel   string   `json:"kernel"`
+	Epoch    uint64   `json:"epoch"` // graph.Graph.Epoch(): the PR 8 build identity
+	Mode     string   `json:"mode"`  // kernel.Mode.String(), kept as a string to avoid a kernel import cycle
+	Schedule Schedule `json:"schedule"`
+	Seconds  float64  `json:"seconds"`
+}
+
+// storeFile is the on-disk JSON shape, versioned so a future layout change
+// can refuse (rather than misread) old files.
+type storeFile struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"entries"`
+}
+
+const storeVersion = 1
+
+// Store is a persistent map from (kernel, graph epoch, mode) to the tuned
+// schedule. Keying on the graph's Epoch — the content identity of the CSR
+// build — is what makes staleness structural: a regenerated or differently
+// built graph has a different epoch, so its old entries are simply never
+// found (invalidation by miss, not by heuristics). Lookup is RLock-only and
+// allocation-free, cheap enough for a timed path; Put/Save are tuning-time
+// operations.
+type Store struct {
+	mu      sync.RWMutex
+	path    string
+	entries map[string]Entry
+}
+
+// NewStore returns an empty store that Save will write to path.
+func NewStore(path string) *Store {
+	return &Store{path: path, entries: make(map[string]Entry)}
+}
+
+// LoadStore reads the store at path. A missing file yields an empty store
+// (first tuning run); a malformed or wrong-version file is an error.
+func LoadStore(path string) (*Store, error) {
+	s := NewStore(path)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tune: reading schedule store: %w", err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tune: parsing schedule store %s: %w", path, err)
+	}
+	if f.Version != storeVersion {
+		return nil, fmt.Errorf("tune: schedule store %s has version %d, want %d", path, f.Version, storeVersion)
+	}
+	for _, e := range f.Entries {
+		s.entries[key(e.Kernel, e.Epoch, e.Mode)] = e
+	}
+	return s, nil
+}
+
+func key(kernel string, epoch uint64, mode string) string {
+	return fmt.Sprintf("%s|%#x|%s", kernel, epoch, mode)
+}
+
+// Path returns the file this store loads from / saves to.
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Lookup returns the tuned schedule for (kernel, epoch, mode) if one is
+// stored. Entries recorded for a different epoch of "the same" graph are
+// invisible by construction — the stale-epoch invalidation the tests pin.
+func (s *Store) Lookup(kernel string, epoch uint64, mode string) (Schedule, bool) {
+	s.mu.RLock()
+	e, ok := s.entries[key(kernel, epoch, mode)]
+	s.mu.RUnlock()
+	return e.Schedule, ok
+}
+
+// Put records (or replaces) the tuned schedule for (kernel, epoch, mode).
+func (s *Store) Put(kernel string, epoch uint64, mode string, sched Schedule, seconds float64) {
+	s.mu.Lock()
+	s.entries[key(kernel, epoch, mode)] = Entry{
+		Kernel: kernel, Epoch: epoch, Mode: mode, Schedule: sched, Seconds: seconds,
+	}
+	s.mu.Unlock()
+}
+
+// Save writes the store to its path, entries in deterministic key order so
+// the file diffs cleanly across tuning runs.
+func (s *Store) Save() error {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f := storeFile{Version: storeVersion, Entries: make([]Entry, 0, len(keys))}
+	for _, k := range keys {
+		f.Entries = append(f.Entries, s.entries[k])
+	}
+	s.mu.RUnlock()
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tune: encoding schedule store: %w", err)
+	}
+	if dir := filepath.Dir(s.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("tune: creating schedule store directory: %w", err)
+		}
+	}
+	if err := os.WriteFile(s.path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("tune: writing schedule store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package tune
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gapbench/internal/frontier"
+)
+
+// TestSpaceDeterministic: the schedule space is a pure function of (kernel,
+// n) — the property that makes stored schedules meaningful across runs.
+func TestSpaceDeterministic(t *testing.T) {
+	for _, k := range []string{"bfs", "sssp", "pr", "cc", "bc"} {
+		a := Space(k, 1<<16)
+		b := Space(k, 1<<16)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty schedule space", k)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: schedule space is not deterministic", k)
+		}
+	}
+}
+
+func TestSegmentsForScalesWithN(t *testing.T) {
+	if s := SegmentsFor(100); s < 1 {
+		t.Fatalf("SegmentsFor(100) = %d, want >= 1", s)
+	}
+	small, large := SegmentsFor(1<<16), SegmentsFor(1<<22)
+	if large <= small {
+		t.Fatalf("segments must grow with n: %d (2^16) vs %d (2^22)", small, large)
+	}
+}
+
+func TestExploreReturnsTriedSchedule(t *testing.T) {
+	cands := Space("bfs", 1<<12)
+	var ran []Schedule
+	best, trace := Explore(cands, 2, func(s Schedule) { ran = append(ran, s) })
+	if len(trace) != len(cands) {
+		t.Fatalf("trace covers %d candidates, want %d", len(trace), len(cands))
+	}
+	if len(ran) != 2*len(cands) {
+		t.Fatalf("run invoked %d times, want trials*candidates = %d", len(ran), 2*len(cands))
+	}
+	found := false
+	for _, c := range cands {
+		if c == best {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Explore returned a schedule outside the candidate space")
+	}
+	if BestSeconds(trace, best) < 0 {
+		t.Fatal("BestSeconds missed a schedule present in the trace")
+	}
+	if BestSeconds(trace, Schedule{Direction: PullOnly, NumSegments: 999}) != -1 {
+		t.Fatal("BestSeconds must report -1 for absent schedules")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "schedules.json")
+	st := NewStore(path)
+	sched := Schedule{Direction: PushOnly, Frontier: frontier.SparseList, BucketFusion: true, NumSegments: 4}
+	st.Put("bfs", 42, "Optimized", sched, 0.125)
+	st.Put("pr", 42, "Optimized", Schedule{CacheTiling: true, NumSegments: 8}, 2.5)
+	if err := st.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	ld, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", ld.Len())
+	}
+	got, ok := ld.Lookup("bfs", 42, "Optimized")
+	if !ok || got != sched {
+		t.Fatalf("Lookup = %+v, %v; want %+v, true", got, ok, sched)
+	}
+
+	// Save is deterministic: byte-identical on re-save.
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Save(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("Save is not deterministic")
+	}
+}
+
+// TestStaleEpochInvalidates: the epoch is part of the key, so a store tuned
+// against different graph bytes misses cleanly instead of serving a schedule
+// tuned for another graph.
+func TestStaleEpochInvalidates(t *testing.T) {
+	st := NewStore(filepath.Join(t.TempDir(), "s.json"))
+	st.Put("bfs", 42, "Optimized", Schedule{Direction: PushOnly}, 1)
+	if _, ok := st.Lookup("bfs", 43, "Optimized"); ok {
+		t.Fatal("stale epoch must miss")
+	}
+	if _, ok := st.Lookup("bfs", 42, "Baseline"); ok {
+		t.Fatal("different mode must miss")
+	}
+	if _, ok := st.Lookup("cc", 42, "Optimized"); ok {
+		t.Fatal("different kernel must miss")
+	}
+	if _, ok := st.Lookup("bfs", 42, "Optimized"); !ok {
+		t.Fatal("exact key must hit")
+	}
+}
+
+func TestLoadStoreMissingFileIsEmpty(t *testing.T) {
+	st, err := LoadStore(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing store file must load empty, got %v", err)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("missing store has %d entries", st.Len())
+	}
+}
+
+func TestLoadStoreRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStore(path); err == nil {
+		t.Fatal("garbage store file must fail to load")
+	}
+}

@@ -1,0 +1,52 @@
+package tune
+
+import "time"
+
+// TrialResult records one explored candidate.
+type TrialResult struct {
+	Schedule Schedule
+	Seconds  float64
+}
+
+// Explore times run(candidate) `trials` times per candidate (min-of-trials,
+// the GAP measurement convention) and returns the fastest schedule with the
+// full exploration trace. This is the miniature counterpart of GraphIt's
+// OpenTuner-based autotuner (§III-D: "explores the optimization space and
+// finds high-performance schedules quickly"); the spaces here are small
+// enough to sweep exhaustively. Tuning time is NOT part of any benchmark
+// timing — the paper's Optimized rule set explicitly excludes it.
+func Explore(candidates []Schedule, trials int, run func(Schedule)) (Schedule, []TrialResult) {
+	if trials < 1 {
+		trials = 1
+	}
+	results := make([]TrialResult, 0, len(candidates))
+	best := candidates[0]
+	bestSec := -1.0
+	for _, cand := range candidates {
+		sec := -1.0
+		for t := 0; t < trials; t++ {
+			start := time.Now()
+			run(cand)
+			if s := time.Since(start).Seconds(); sec < 0 || s < sec {
+				sec = s
+			}
+		}
+		results = append(results, TrialResult{Schedule: cand, Seconds: sec})
+		if bestSec < 0 || sec < bestSec {
+			best, bestSec = cand, sec
+		}
+	}
+	return best, results
+}
+
+// BestSeconds returns the recorded time of sched in a trace (or -1 when the
+// trace does not contain it) — the store's Seconds field for a Put after an
+// Explore.
+func BestSeconds(trace []TrialResult, sched Schedule) float64 {
+	for _, r := range trace {
+		if r.Schedule == sched {
+			return r.Seconds
+		}
+	}
+	return -1
+}

@@ -19,10 +19,13 @@
 #      the harness that drives every framework (core), on tiny graphs so the
 #      whole sweep finishes in seconds.
 #   7. go test -tags=grbcheck <tier>  the grbcheck sanitizer tier: rebuilds
-#      the GraphBLAS substrate with runtime invariant assertions enabled and
-#      re-runs grb plus its consumer (lagraph) at -short scale, so a
-#      structurally corrupt vector/matrix panics at the operation boundary
-#      that received it (see DESIGN.md "Runtime sanitizer").
+#      the GraphBLAS substrate (and the shared frontier library, which keys
+#      its conversion checks off the same tag) with runtime invariant
+#      assertions enabled and re-runs grb, frontier, and their consumer
+#      (lagraph) at -short scale, so a structurally corrupt vector/matrix/
+#      frontier — or a direction dispatch whose push and pull products
+#      disagree — panics at the operation boundary that received it (see
+#      DESIGN.md "Runtime sanitizer").
 #   8. go test -tags=graphguard <tier> the graphguard sanitizer tier: rebuilds
 #      with CSR seal checks armed and re-runs graph plus the runner, so a
 #      kernel that mutates shared graph memory panics at the trial boundary
@@ -39,7 +42,12 @@
 #      them via -graphfile, so the whole serialize -> mmap-load -> provenance
 #      -> kernel-verify chain is exercised exactly the way a measurement run
 #      uses it (see DESIGN.md §3 "The storage arena").
-#  11. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
+#  11. gapbench -tune twice-through tier: runs the autotuner against a tiny
+#      Kron build with a fresh schedule store, then runs it again on the same
+#      store. The first pass must report tuning (writing the store), the
+#      second must report reusing the stored schedule — the persistence
+#      contract `-tune` exists for (see DESIGN.md "Schedule persistence").
+#  12. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
 #      benchmark (suite cells, ablations, and the ingest-pipeline
 #      Build/Transpose groups — scripts/bench.sh's evidence included)
 #      runs exactly one iteration at the test scale, so a
@@ -87,7 +95,7 @@ say "race smoke tier (go test -race -short)"
 go test -race -short ./internal/par/... ./internal/galois/... ./internal/core/...
 
 say "grbcheck sanitizer tier (go test -tags=grbcheck -short)"
-go test -tags=grbcheck -short ./internal/grb/ ./internal/lagraph/
+go test -tags=grbcheck -short ./internal/grb/ ./internal/frontier/ ./internal/lagraph/
 
 say "graphguard sanitizer tier (go test -tags=graphguard -short)"
 go test -tags=graphguard -short ./internal/graph/ ./internal/core/
@@ -100,11 +108,28 @@ go test -tags='chaos graphguard' -short ./internal/core/
 
 say "graph-store e2e tier (graphgen once, gapbench mmap smoke)"
 GDIR="$(mktemp -d)"
-trap 'rm -rf "$GDIR"' EXIT
+TDIR="$(mktemp -d)"
+trap 'rm -rf "$GDIR" "$TDIR"' EXIT
 go run ./cmd/graphgen -out "$GDIR" -scale 6 >/dev/null
 SGFILES="$(ls "$GDIR"/*.sg | tr '\n' ',' | sed 's/,$//')"
 go run ./cmd/gapbench -table IV -graphfile "$SGFILES" -kernels BFS,TC -frameworks GAP -mode baseline -trials 1 -q >/dev/null
 echo "graph-store e2e ok (5 graphs saved, mmap-loaded, verified)"
+
+say "schedule-store persistence tier (gapbench -tune twice over one store)"
+TUNE_ARGS="-tune -tunefile $TDIR/schedules.json -graphs Kron -scale 6 -kernels BFS -frameworks GraphIt -mode optimized -trials 1 -q"
+go run ./cmd/gapbench $TUNE_ARGS 2>"$TDIR/first.log" >/dev/null
+grep -q 'tune: tuned 1 schedules, reused 0' "$TDIR/first.log" || {
+    echo "first -tune run did not tune a fresh schedule:" >&2
+    cat "$TDIR/first.log" >&2
+    exit 1
+}
+go run ./cmd/gapbench $TUNE_ARGS 2>"$TDIR/second.log" >/dev/null
+grep -q 'tune: tuned 0 schedules, reused 1' "$TDIR/second.log" || {
+    echo "second -tune run re-tuned instead of loading the stored schedule:" >&2
+    cat "$TDIR/second.log" >&2
+    exit 1
+}
+echo "schedule store persisted and reloaded ok"
 
 say "benchmark bit-rot guard (go test -run='^$' -bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x .
