@@ -128,7 +128,7 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 	var names []string
 	if graphFiles != "" {
 		for _, path := range splitCSV(graphFiles) {
-			in, err := loadGraphFile(path)
+			in, err := core.LoadInputFile(path)
 			if err != nil {
 				return err
 			}
@@ -140,7 +140,7 @@ func run(tableSel string, scale, trials int, graphsCSV, kernelsCSV, fwCSV, modeS
 			fmt.Fprintf(os.Stderr, "generating %d graphs at base scale %d...\n", len(specs), scale)
 		}
 		for _, spec := range specs {
-			in, err := loadCached(spec, graphDir)
+			in, err := core.LoadCachedInput(spec, graphDir)
 			if err != nil {
 				return err
 			}
@@ -331,79 +331,6 @@ func splitCSV(s string) []string {
 	return out
 }
 
-// loadCached loads a serialized graph from dir when present, generating and
-// caching it otherwise; with no dir it always generates. Cache files are
-// format v2 (.sg, mmap-loaded); legacy v1 .gapb caches stay readable.
-func loadCached(spec core.GraphSpec, dir string) (*core.Input, error) {
-	if dir == "" {
-		return core.LoadInput(spec)
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	path := filepath.Join(dir, core.GraphFileName(spec, "sg"))
-	if g, err := graph.Load(path); err == nil {
-		in := core.PrepareInput(spec, g)
-		in.File = path
-		return in, nil
-	}
-	if legacy := filepath.Join(dir, core.GraphFileName(spec, "gapb")); fileExists(legacy) {
-		g, err := graph.Load(legacy)
-		if err != nil {
-			return nil, fmt.Errorf("loading cached %s: %w", legacy, err)
-		}
-		in := core.PrepareInput(spec, g)
-		in.File = legacy
-		return in, nil
-	}
-	in, err := core.LoadInput(spec)
-	if err != nil {
-		return nil, err
-	}
-	in.Graph.SetProvenance(spec.Name, uint32(spec.Scale), spec.Seed)
-	if err := in.Graph.SaveSG(path); err != nil {
-		return nil, fmt.Errorf("caching %s: %w", path, err)
-	}
-	in.File = path
-	return in, nil
-}
-
-func fileExists(path string) bool {
-	_, err := os.Stat(path)
-	return err == nil
-}
-
-// loadGraphFile mmap-loads one serialized graph and rebuilds its suite spec
-// from the provenance stamped in the file header (graph name selects the
-// suite's per-graph Delta and SourceSeed, scale and seed come from the file).
-func loadGraphFile(path string) (*core.Input, error) {
-	g, err := graph.Load(path)
-	if err != nil {
-		return nil, err
-	}
-	name, provScale, provSeed := g.Provenance()
-	spec, err := specForName(name)
-	if err != nil {
-		_ = g.Close() // the load error is the one worth reporting
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	spec.Scale = int(provScale)
-	spec.Seed = provSeed
-	in := core.PrepareInput(spec, g)
-	in.File = path
-	return in, nil
-}
-
-// specForName finds the suite template (per-graph Delta, SourceSeed) for a
-// provenance graph name.
-func specForName(name string) (core.GraphSpec, error) {
-	if name == "" {
-		return core.GraphSpec{}, fmt.Errorf("file carries no provenance (regenerate it with graphgen)")
-	}
-	for _, s := range core.DefaultSuite(0) {
-		if strings.EqualFold(s.Name, name) {
-			return s, nil
-		}
-	}
-	return core.GraphSpec{}, fmt.Errorf("provenance graph %q is not a suite graph (have %v)", name, generate.Names)
-}
+// Input acquisition (cache-or-generate, mmap-load with provenance specs)
+// lives in internal/core (LoadCachedInput, LoadInputFile) so gapbench and the
+// gapd daemon mount graphs identically.

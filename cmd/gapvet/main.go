@@ -21,6 +21,8 @@
 //	                       outside internal/graph (shared graphs are immutable)
 //	cancel-liveness        data-dependent kernel loops must reach a cancellation
 //	                       poll or a par schedule
+//	lease-return           every pool Acquire must settle its lease (Release or
+//	                       Abandon) on all paths, panics included
 //
 // Six of these are dataflow rules: they run on a module-wide call graph
 // built from per-function fact summaries (see internal/analysis/facts.go

@@ -1,0 +1,67 @@
+// Package lease is a gapvet test fixture (never built): a miniature machine
+// lease pool in the serve.Pool shape, with callers that leak leases in the
+// ways the lease-return rule must flag. The deferred abandoned-flag sandbox
+// at the bottom is the sanctioned pattern and must stay clean.
+package lease
+
+// Machine stands in for a par.Machine.
+type Machine struct{ closed bool }
+
+// Lease is the pool's loan record: settled by exactly one of Release
+// (machine healthy, back to the pool) or Abandon (machine wedged, reap it).
+type Lease struct{ m *Machine }
+
+func (l *Lease) Release() {}
+func (l *Lease) Abandon() {}
+
+// Pool hands out machine leases.
+type Pool struct{}
+
+// Acquire matches the shape the rule guards: first result is a pointer to a
+// named type with both Release and Abandon methods.
+func (p *Pool) Acquire(tok any) (*Lease, error) { return &Lease{}, nil }
+
+func runKernel() {}
+
+// NeverSettled acquires and walks away: the pool is down one machine for the
+// life of the process.
+func NeverSettled(p *Pool) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	_ = lease
+	runKernel()
+	return nil
+}
+
+// PlainRelease settles only on the straight-line path: a panic in runKernel
+// unwinds past the Release and leaks the lease.
+func PlainRelease(p *Pool) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	runKernel()
+	lease.Release()
+	return nil
+}
+
+// Sandbox is the sanctioned pattern — the deferred closure settles the lease
+// on every exit, panic unwinds included — and must produce no finding.
+func Sandbox(p *Pool) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	abandoned := false
+	defer func() {
+		if abandoned {
+			lease.Abandon()
+		} else {
+			lease.Release()
+		}
+	}()
+	runKernel()
+	return nil
+}

@@ -92,6 +92,7 @@ func Analyzers() []*Analyzer {
 		GraphMutation,
 		ArenaEscape,
 		CancelLiveness,
+		LeaseReturn,
 		EscapeInKernel,
 		ClosureCaptureHot,
 		BCEMiss,

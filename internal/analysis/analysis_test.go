@@ -115,6 +115,7 @@ func TestAnalyzerRegistry(t *testing.T) {
 		"timed-region-purity", "unchecked-error",
 		"atomic-plain-mix", "lock-order", "alloc-in-timed-region",
 		"swallowed-panic", "graph-mutation", "arena-escape", "cancel-liveness",
+		"lease-return",
 		"escape-in-kernel", "closure-capture-hot", "bce-miss", "inline-miss",
 	}
 	if len(seen) != len(want) {

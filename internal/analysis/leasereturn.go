@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeaseReturn flags machine-pool leases that can leak: a call to an
+// `Acquire` method returning a lease — a pointer to a named type carrying
+// both `Release` and `Abandon` methods, the serve.Pool shape — must settle
+// that lease on every path out of the acquiring function, panic unwinds
+// included. The daemon's pool (internal/serve) sizes admission control by
+// its lease count; one leaked lease silently shrinks capacity forever, and
+// under -tags=servecheck the drain-time leak assertion turns it into a
+// crash long after the leak site is gone from any stack.
+//
+// Accepted settlement shapes:
+//
+//   - a deferred settle: `defer lease.Release()`, or a deferred closure
+//     that reaches lease.Release() or lease.Abandon() on some branch (the
+//     abandoned-flag pattern in serve's attempt());
+//   - an escape: the lease is returned, passed to another call, stored, or
+//     sent — ownership moved, the receiver settles it.
+//
+// A lease settled only by a plain (non-deferred) call is still reported:
+// the straight-line path returns the machine, but a kernel panic between
+// Acquire and Release unwinds past the settle and leaks it — that is
+// precisely the path the serving sandbox exists to survive.
+var LeaseReturn = &Analyzer{
+	Name: "lease-return",
+	Doc:  "every pool Acquire must settle its lease (Release or Abandon) on all paths, panics included",
+	Run:  runLeaseReturn,
+}
+
+func runLeaseReturn(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue // tests leak leases on purpose to exercise the checker
+		}
+		parents := buildParents(f.AST)
+		var stack []ast.Node
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isLeaseAcquire(pkg, call) {
+				checkAcquireSite(pass, parents, stack, call)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// isLeaseAcquire reports whether call invokes a method named Acquire whose
+// first result is a pointer to a named type with both Release and Abandon
+// methods — the lease-pool shape this rule guards.
+func isLeaseAcquire(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Acquire" {
+		return false
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return hasNamedMethod(named, "Release") && hasNamedMethod(named, "Abandon")
+}
+
+// hasNamedMethod reports whether *T has a method of the given name.
+func hasNamedMethod(named *types.Named, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// checkAcquireSite classifies one Acquire call's lease: bound to a variable
+// that is settled/escapes, or discarded outright.
+func checkAcquireSite(pass *Pass, parents map[ast.Node]ast.Node, stack []ast.Node, call *ast.CallExpr) {
+	scope := enclosingFuncBody(stack)
+	if scope == nil {
+		return // package-level initializer; out of scope for this rule
+	}
+	switch parent := parents[call].(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "Acquire's lease is discarded: the machine can never be returned to the pool — bind it and settle with Release or Abandon")
+	case *ast.AssignStmt:
+		obj := leaseTarget(pass.Pkg, parent, call)
+		if obj == nil {
+			pass.Reportf(call.Pos(), "Acquire's lease is assigned to _: the machine can never be returned to the pool — bind it and settle with Release or Abandon")
+			return
+		}
+		reportLeaseUse(pass, parents, scope, call, obj)
+	case *ast.ValueSpec:
+		for i, v := range parent.Values {
+			if v != call || i >= len(parent.Names) {
+				continue
+			}
+			if parent.Names[i].Name == "_" {
+				pass.Reportf(call.Pos(), "Acquire's lease is assigned to _: the machine can never be returned to the pool — bind it and settle with Release or Abandon")
+				continue
+			}
+			if obj := pass.Pkg.Info.Defs[parent.Names[i]]; obj != nil {
+				reportLeaseUse(pass, parents, scope, call, obj)
+			}
+		}
+	}
+	// Any other context — `return p.Acquire(tok)`, a call argument — hands
+	// the lease (and the settlement duty) straight to someone else.
+}
+
+// leaseTarget returns the variable bound to the Acquire call's lease result,
+// or nil when it is blank or untracked. Handles both the multi-assign form
+// `lease, err := p.Acquire(tok)` (call is the whole Rhs) and 1:1 forms.
+func leaseTarget(pkg *Package, assign *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	var lhs ast.Expr
+	if len(assign.Rhs) == 1 && assign.Rhs[0] == call && len(assign.Lhs) >= 1 {
+		lhs = assign.Lhs[0]
+	} else {
+		for i, rhs := range assign.Rhs {
+			if rhs == call && i < len(assign.Lhs) {
+				lhs = assign.Lhs[i]
+			}
+		}
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Uses[id] // assignment onto an existing variable
+}
+
+// reportLeaseUse scans the enclosing function body for what happens to the
+// lease and reports the two leak shapes: never settled, or settled only on
+// the non-panic path.
+func reportLeaseUse(pass *Pass, parents map[ast.Node]ast.Node, scope ast.Node, call *ast.CallExpr, obj types.Object) {
+	var deferredSettle, plainSettle, escapes bool
+	pkg := pass.Pkg
+	ast.Inspect(scope, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pkg.Info.Uses[id] != obj {
+			return true
+		}
+		switch parent := parents[id].(type) {
+		case *ast.SelectorExpr:
+			if parent.X != id {
+				return true
+			}
+			if grand, ok2 := parents[parent].(*ast.CallExpr); ok2 && grand.Fun == parent {
+				switch parent.Sel.Name {
+				case "Release", "Abandon":
+					if leaseUnderDefer(parents, scope, grand) {
+						deferredSettle = true
+					} else {
+						plainSettle = true
+					}
+				}
+				return true // a method call on the lease is a use, not an escape
+			}
+			// Method value (lease.Release as a value): flows somewhere —
+			// treat as handed off.
+			escapes = true
+		case *ast.BinaryExpr:
+			// nil checks and comparisons do not move the lease
+		case *ast.AssignStmt:
+			for _, l := range parent.Lhs {
+				if l == ast.Expr(id) {
+					return true // reassigning the variable, not using the lease
+				}
+			}
+			if allBlank(parent.Lhs) {
+				return true // `_ = lease` silences a use; it moves nothing
+			}
+			escapes = true // lease copied into another binding or field
+		default:
+			// Call argument, return value, composite literal, channel send,
+			// &lease, index: the lease moves out of this function's hands.
+			escapes = true
+		}
+		return true
+	})
+	switch {
+	case deferredSettle || escapes:
+		// Settled on all paths, or ownership moved.
+	case plainSettle:
+		pass.Reportf(call.Pos(), "lease is settled only on the straight-line path: a panic between Acquire and the Release/Abandon call leaks the machine — settle in a defer (see serve's abandoned-flag pattern), or justify with //gapvet:ignore lease-return")
+	default:
+		pass.Reportf(call.Pos(), "lease from Acquire is never settled: call Release or Abandon on every path out of %s (a defer covers panic unwinds too), or justify with //gapvet:ignore lease-return", describeScope(scope, parents))
+	}
+}
+
+// allBlank reports whether every assignment target is the blank identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the ancestor stack — the region whose exits must settle the
+// lease (a defer in an outer function does not cover an inner literal).
+func enclosingFuncBody(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// leaseUnderDefer reports whether node sits beneath a DeferStmt within scope —
+// either as the deferred call itself or inside a deferred closure's body.
+func leaseUnderDefer(parents map[ast.Node]ast.Node, scope, node ast.Node) bool {
+	for n := node; n != nil && n != scope; n = parents[n] {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// describeScope names the function owning the scope body, for messages.
+func describeScope(scope ast.Node, parents map[ast.Node]ast.Node) string {
+	if fd, ok := parents[scope].(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return "the enclosing function"
+}

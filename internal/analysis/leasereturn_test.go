@@ -1,0 +1,209 @@
+package analysis
+
+import "testing"
+
+// leasePool is the miniature lease-pool declaration shared by the fixtures:
+// the Acquire signature the rule matches (method named Acquire, first result
+// a pointer to a named type with Release and Abandon methods).
+const leasePool = `
+type Machine struct{ closed bool }
+
+type Lease struct{ m *Machine }
+
+func (l *Lease) Release() {}
+func (l *Lease) Abandon() {}
+func (l *Lease) Machine() *Machine { return l.m }
+
+type Pool struct{}
+
+func (p *Pool) Acquire(tok any) (*Lease, error) { return &Lease{}, nil }
+`
+
+func TestLeaseReturn(t *testing.T) {
+	checkRule(t, LeaseReturn, []ruleCase{
+		{
+			name: "never settled",
+			path: "fixture/leak1",
+			files: map[string]string{"pool.go": `package leak1
+` + leasePool + `
+func Leak(p *Pool) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	_ = lease.Machine()
+	return nil
+}
+`},
+			want: []string{"lease from Acquire is never settled"},
+		},
+		{
+			name: "plain settle leaks on panic path",
+			path: "fixture/leak2",
+			files: map[string]string{"pool.go": `package leak2
+` + leasePool + `
+func run() {}
+
+func StraightLine(p *Pool) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	run()
+	lease.Release()
+	return nil
+}
+`},
+			want: []string{"settled only on the straight-line path"},
+		},
+		{
+			name: "discarded lease",
+			path: "fixture/leak3",
+			files: map[string]string{"pool.go": `package leak3
+` + leasePool + `
+func Discard(p *Pool) {
+	p.Acquire(nil)
+}
+
+func Blank(p *Pool) {
+	_, _ = p.Acquire(nil)
+}
+`},
+			want: []string{
+				"lease is discarded",
+				"lease is assigned to _",
+			},
+		},
+		{
+			name: "deferred direct settle is clean",
+			path: "fixture/ok1",
+			files: map[string]string{"pool.go": `package ok1
+` + leasePool + `
+func run() {}
+
+func Deferred(p *Pool) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	defer lease.Release()
+	run()
+	return nil
+}
+`},
+			want: nil,
+		},
+		{
+			name: "abandoned-flag defer closure is clean",
+			path: "fixture/ok2",
+			files: map[string]string{"pool.go": `package ok2
+` + leasePool + `
+func run() {}
+
+func Sandbox(p *Pool) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	abandoned := false
+	defer func() {
+		if abandoned {
+			lease.Abandon()
+		} else {
+			lease.Release()
+		}
+	}()
+	run()
+	abandoned = true
+	return nil
+}
+`},
+			want: nil,
+		},
+		{
+			name: "escaping lease is a handoff",
+			path: "fixture/ok3",
+			files: map[string]string{"pool.go": `package ok3
+` + leasePool + `
+func settle(l *Lease) { l.Release() }
+
+func HandOff(p *Pool) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	settle(lease)
+	return nil
+}
+
+func Forward(p *Pool) (*Lease, error) {
+	lease, err := p.Acquire(nil)
+	return lease, err
+}
+
+func Direct(p *Pool) (*Lease, error) {
+	return p.Acquire(nil)
+}
+
+type holder struct{ l *Lease }
+
+func Stash(p *Pool, h *holder) error {
+	lease, err := p.Acquire(nil)
+	if err != nil {
+		return err
+	}
+	h.l = lease
+	return nil
+}
+`},
+			want: nil,
+		},
+		{
+			name: "defer in outer func does not cover inner literal",
+			path: "fixture/leak4",
+			files: map[string]string{"pool.go": `package leak4
+` + leasePool + `
+func Outer(p *Pool) func() {
+	return func() {
+		lease, err := p.Acquire(nil)
+		if err != nil {
+			return
+		}
+		_ = lease
+	}
+}
+`},
+			want: []string{"lease from Acquire is never settled"},
+		},
+		{
+			name: "unrelated Acquire signature is ignored",
+			path: "fixture/ok4",
+			files: map[string]string{"pool.go": `package ok4
+
+type Token struct{}
+
+func (t *Token) Close() {}
+
+type Bucket struct{}
+
+// Acquire here returns a type with no Release/Abandon pair: not a lease.
+func (b *Bucket) Acquire() *Token { return &Token{} }
+
+func Use(b *Bucket) {
+	b.Acquire()
+}
+`},
+			want: nil,
+		},
+	})
+}
+
+// TestLeaseReturnAcceptsServe locks the rule against the real serving layer:
+// internal/serve's attempt() settles through the abandoned-flag deferred
+// closure, and the pool's own internals must not fire either.
+func TestLeaseReturnAcceptsServe(t *testing.T) {
+	got := runRuleOn(t, LeaseReturn, loadRealDir(t, "internal/serve"))
+	if len(got) != 0 {
+		t.Errorf("lease-return fired on internal/serve:\n%v", got)
+	}
+}

@@ -240,6 +240,63 @@ func TestStuckKernelAbandonsMachine(t *testing.T) {
 	}
 }
 
+// TestRepeatedAbandonmentSelfHeals drives the runner through several
+// consecutive machine abandonments — the serving layer's worst day — and
+// checks the self-healing invariants: every replacement machine inherits the
+// mode's worker count, its cancel token still works (a staller times out
+// cooperatively, costing no machine), and one ReapAbandoned joins every
+// poisoned machine so nothing leaks.
+func TestRepeatedAbandonmentSelfHeals(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	in := loadSmallInput(t)
+	r := &core.Runner{
+		Trials: 1, BaselineWorkers: 3, OptimizedWorkers: 2, Verify: true,
+		Timeout: 50 * time.Millisecond, Grace: 100 * time.Millisecond,
+		Retry: &core.RetryPolicy{},
+	}
+	defer r.Close()
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		res := r.RunCell(hanger{zeroFramework{"Hanger"}}, core.TC, in, kernel.Baseline)
+		if res.Status != core.TimedOut || !strings.Contains(res.Err, "machine abandoned") {
+			t.Fatalf("round %d: status = %v err = %q, want abandoned TimedOut", i, res.Status, res.Err)
+		}
+	}
+	if got := r.Abandoned(); got != rounds {
+		t.Fatalf("abandoned = %d, want %d", got, rounds)
+	}
+
+	// The replacement built after the last abandonment must inherit the
+	// baseline worker count, not fall back to some default width.
+	ok := r.RunCell(core.FrameworkByName("GAP"), core.TC, in, kernel.Baseline)
+	if ok.Status != core.OK || !ok.Verified {
+		t.Fatalf("clean cell after %d abandonments: %+v", rounds, ok)
+	}
+	if ok.Sync.Workers != 3 {
+		t.Errorf("replacement machine width = %d, want the configured 3", ok.Sync.Workers)
+	}
+
+	// Cancellation must be live on the replacement too: a cooperative staller
+	// times out via the token without costing another machine.
+	res := r.RunCell(staller{zeroFramework{"Staller"}}, core.TC, in, kernel.Baseline)
+	if res.Status != core.TimedOut || strings.Contains(res.Err, "machine abandoned") {
+		t.Fatalf("staller on replacement: status = %v err = %q, want cooperative TimedOut", res.Status, res.Err)
+	}
+	if got := r.Abandoned(); got != rounds {
+		t.Fatalf("cooperative timeout cost a machine: abandoned = %d, want %d", got, rounds)
+	}
+
+	// One reap joins all three hung machines; a second reap is a no-op.
+	r.ReapAbandoned()
+	if got := r.Abandoned(); got != 0 {
+		t.Fatalf("reap left %d abandoned machines", got)
+	}
+	r.ReapAbandoned()
+	if got := r.Abandoned(); got != 0 {
+		t.Fatalf("second reap found %d machines", got)
+	}
+}
+
 func TestUnknownKernelSkipped(t *testing.T) {
 	defer testutil.CheckGoroutines(t)()
 	in := loadSmallInput(t)

@@ -1,0 +1,95 @@
+package core
+
+// load.go holds the input-acquisition paths shared by every binary that
+// mounts suite graphs — the batch CLI (cmd/gapbench), the serving daemon
+// (cmd/gapd), and the load driver tooling: generate-or-reload through a cache
+// directory, and mmap-loading a serialized graph with its suite spec rebuilt
+// from file provenance.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gapbench/internal/generate"
+	"gapbench/internal/graph"
+)
+
+// LoadCachedInput loads a serialized graph for spec from dir when present,
+// generating and caching it otherwise; with no dir it always generates.
+// Cache files are format v2 (.sg, mmap-loaded zero-copy); legacy v1 .gapb
+// caches stay readable.
+func LoadCachedInput(spec GraphSpec, dir string) (*Input, error) {
+	if dir == "" {
+		return LoadInput(spec)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, GraphFileName(spec, "sg"))
+	if g, err := graph.Load(path); err == nil {
+		in := PrepareInput(spec, g)
+		in.File = path
+		return in, nil
+	}
+	if legacy := filepath.Join(dir, GraphFileName(spec, "gapb")); fileExists(legacy) {
+		g, err := graph.Load(legacy)
+		if err != nil {
+			return nil, fmt.Errorf("loading cached %s: %w", legacy, err)
+		}
+		in := PrepareInput(spec, g)
+		in.File = legacy
+		return in, nil
+	}
+	in, err := LoadInput(spec)
+	if err != nil {
+		return nil, err
+	}
+	in.Graph.SetProvenance(spec.Name, uint32(spec.Scale), spec.Seed)
+	if err := in.Graph.SaveSG(path); err != nil {
+		return nil, fmt.Errorf("caching %s: %w", path, err)
+	}
+	in.File = path
+	return in, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// LoadInputFile mmap-loads one serialized graph and rebuilds its suite spec
+// from the provenance stamped in the file header (the graph name selects the
+// suite's per-graph Delta and SourceSeed; scale and seed come from the file).
+func LoadInputFile(path string) (*Input, error) {
+	g, err := graph.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	name, provScale, provSeed := g.Provenance()
+	spec, err := SpecForName(name)
+	if err != nil {
+		_ = g.Close() // the spec error is the one worth reporting
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	spec.Scale = int(provScale)
+	spec.Seed = provSeed
+	in := PrepareInput(spec, g)
+	in.File = path
+	return in, nil
+}
+
+// SpecForName finds the suite template (per-graph Delta, SourceSeed) for a
+// provenance graph name.
+func SpecForName(name string) (GraphSpec, error) {
+	if name == "" {
+		return GraphSpec{}, fmt.Errorf("file carries no provenance (regenerate it with graphgen)")
+	}
+	for _, s := range DefaultSuite(0) {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	return GraphSpec{}, fmt.Errorf("provenance graph %q is not a suite graph (have %v)", name, generate.Names)
+}

@@ -88,7 +88,7 @@ func TestPushPullVxMFloorKeepsThinFrontierPushing(t *testing.T) {
 	st := NewPushPullState(a, DirAuto)
 	st.edgesToCheck = 0 // alpha test passes on any nonzero scout
 	q := NewSparse[int64](a.NRows())
-	q.SetElement(2, 4)                                                 // scout 2
+	q.SetElement(2, 4)                                                  // scout 2
 	got := PushPullVxM(par.Default(), q, a, at, MinFirst(), nil, st, 2) // floor = 4 rows
 	sameVector(t, "floor-forced-push", MxV(par.Default(), at, q, MinFirst(), nil, 2), got)
 	if st.edgesToCheck == 0 {

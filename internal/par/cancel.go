@@ -30,14 +30,20 @@ import (
 const cancelStride = 512
 
 // CancelToken is a one-shot, region-scoped cancellation signal. It fires
-// either when a caller invokes Cancel or when its optional deadline passes
-// (observed lazily at the next poll). All methods are nil-safe: a nil token
-// never cancels, so hot paths guard with a plain pointer test and unconfigured
-// machines pay nothing.
+// either when a caller invokes Cancel, when its optional deadline passes
+// (observed lazily at the next poll), or when any chained parent token fires
+// (see Chain). All methods are nil-safe: a nil token never cancels, so hot
+// paths guard with a plain pointer test and unconfigured machines pay
+// nothing.
 type CancelToken struct {
 	fired    atomic.Bool
 	deadline time.Time // zero means caller-driven only
-	polls    atomic.Int64
+	// parents are upstream tokens this one derives from: a fired parent
+	// fires this token at the next poll. Set at construction (Chain) and
+	// never mutated afterwards, so Cancelled can read it without
+	// synchronization.
+	parents []*CancelToken
+	polls   atomic.Int64
 }
 
 // NewCancelToken returns a caller-driven token (fires only via Cancel).
@@ -47,6 +53,29 @@ func NewCancelToken() *CancelToken { return &CancelToken{} }
 // (or earlier, via Cancel).
 func NewDeadlineToken(d time.Duration) *CancelToken {
 	return &CancelToken{deadline: time.Now().Add(d)}
+}
+
+// Chain returns a token that fires when any of the given parents fires (or
+// when Cancel is called on the chained token itself). Nil parents are
+// skipped. This is how a serving layer composes independent cancellation
+// causes — a per-query deadline budget and a client-disconnect signal — into
+// the single token a machine polls:
+//
+//	tok := par.Chain(connToken, par.NewDeadlineToken(budget))
+//	machine.SetCancel(tok)
+//
+// Once a parent trips the chain the child latches fired, so later polls stay
+// cheap and the child reports cancelled even if the parent is reset-free (all
+// tokens are one-shot). Cancelling a chained token does not propagate upward:
+// the parents stay live for their other children.
+func Chain(parents ...*CancelToken) *CancelToken {
+	t := &CancelToken{}
+	for _, p := range parents {
+		if p != nil {
+			t.parents = append(t.parents, p)
+		}
+	}
+	return t
 }
 
 // Cancel fires the token. Idempotent and safe from any goroutine.
@@ -69,6 +98,12 @@ func (t *CancelToken) Cancelled() bool {
 	if !t.deadline.IsZero() && !time.Now().Before(t.deadline) {
 		t.fired.Store(true)
 		return true
+	}
+	for _, p := range t.parents {
+		if p.Cancelled() {
+			t.fired.Store(true)
+			return true
+		}
 	}
 	return false
 }

@@ -216,3 +216,77 @@ func TestLateInstallObservedByNextRegion(t *testing.T) {
 		t.Errorf("cleared token still suppressed work: ran %d of 100", ran.Load())
 	}
 }
+
+// TestChainFiresFromAnyParent: a chained token trips when any parent fires —
+// the client-disconnect-plus-deadline composition the serving layer needs.
+func TestChainFiresFromAnyParent(t *testing.T) {
+	disconnect := par.NewCancelToken()
+	deadline := par.NewDeadlineToken(time.Hour)
+	tok := par.Chain(disconnect, deadline)
+	if tok.Cancelled() {
+		t.Fatal("fresh chain reported cancelled")
+	}
+	disconnect.Cancel()
+	if !tok.Cancelled() {
+		t.Fatal("chain did not observe fired parent")
+	}
+	// Latched: the chain stays fired even without re-consulting parents.
+	if !tok.Cancelled() {
+		t.Fatal("chain did not latch")
+	}
+
+	// The other composition order: the deadline leg fires.
+	lateDisconnect := par.NewCancelToken()
+	tok2 := par.Chain(lateDisconnect, par.NewDeadlineToken(time.Nanosecond))
+	time.Sleep(time.Millisecond)
+	if !tok2.Cancelled() {
+		t.Fatal("chain did not observe expired deadline parent")
+	}
+	if lateDisconnect.Cancelled() {
+		t.Error("child cancellation propagated up to a live parent")
+	}
+}
+
+// TestChainSkipsNilParentsAndSelfCancels: nil parents are legal (a query may
+// have no disconnect signal), and Cancel on the chain itself works without
+// touching the parents.
+func TestChainSkipsNilParentsAndSelfCancels(t *testing.T) {
+	parent := par.NewCancelToken()
+	tok := par.Chain(nil, parent, nil)
+	if tok.Cancelled() {
+		t.Fatal("fresh chain with nil parents reported cancelled")
+	}
+	tok.Cancel()
+	if !tok.Cancelled() {
+		t.Fatal("self-cancelled chain reported not cancelled")
+	}
+	if parent.Cancelled() {
+		t.Error("chain Cancel propagated up to the parent")
+	}
+	if empty := par.Chain(); empty.Cancelled() {
+		t.Error("empty chain reported cancelled")
+	}
+}
+
+// TestChainedTokenDrainsMachineRegion: the machine polls the chained token
+// like any other, so firing a *parent* (a client disconnect) drains a region
+// scheduled under the chain — the composability gap par.Chain closes.
+func TestChainedTokenDrainsMachineRegion(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	m := par.NewMachine(2)
+	defer m.Close()
+	disconnect := par.NewCancelToken()
+	tok := par.Chain(disconnect, par.NewDeadlineToken(time.Hour))
+	m.SetCancel(tok)
+	disconnect.Cancel()
+	var ran atomic.Int64
+	m.For(10_000, 2, func(i int) { ran.Add(1) })
+	// Regions poll at slot boundaries and every cancelStride indices; with
+	// the parent pre-fired, at most a stride's worth of work can slip through.
+	if got := ran.Load(); got >= 10_000 {
+		t.Errorf("region under disconnected chain ran all %d iterations", got)
+	}
+	if !m.Interrupted() {
+		t.Error("machine did not report interruption through the chain")
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+// admission.go is the daemon's overload-shedding front door. The failure
+// mode it exists for is the classic one: under sustained overload an
+// unbounded queue converts every query into a deadline miss — throughput
+// stays flat while latency diverges. Admission control refuses excess work
+// *immediately* (RESOURCE_EXHAUSTED, microseconds, no budget spent) so the
+// queries that are admitted still meet their deadlines. Two independent
+// gates compose:
+//
+//   - a token bucket bounds the sustained admission rate (Rate qps with
+//     Burst depth), smoothing arrival spikes into the configured capacity;
+//   - a queue-depth watermark bounds admitted-but-unfinished queries to the
+//     pool size plus a short lease queue, so even an unlimited-rate server
+//     never builds a deep backlog.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig tunes the shedding gates. The zero value admits
+// everything up to the queue watermark default.
+type AdmissionConfig struct {
+	// Rate is the sustained admission rate in queries/sec; 0 disables the
+	// token bucket (watermark-only shedding).
+	Rate float64
+	// Burst is the token-bucket depth — how many queries above the
+	// sustained rate a spike may land before shedding starts. Default:
+	// max(1, Rate) (one second of headroom).
+	Burst int
+	// MaxQueue bounds admitted queries waiting for a machine lease beyond
+	// the pool size: inflight is capped at poolSize + MaxQueue. Default 2x
+	// the pool size; negative means 0 (no queue — pool-size cap exactly).
+	MaxQueue int
+}
+
+// admitVerdict classifies one admission decision.
+type admitVerdict int
+
+const (
+	admitOK admitVerdict = iota
+	// admitShedRate: token bucket empty — offered rate above capacity.
+	admitShedRate
+	// admitShedQueue: inflight watermark reached — backlog at its bound.
+	admitShedQueue
+)
+
+// admission is the runtime state of the two gates.
+type admission struct {
+	cfg         AdmissionConfig
+	maxInflight int64
+	inflight    atomic.Int64
+
+	// Token bucket state, guarded by mu: refilled lazily on each Admit from
+	// the elapsed wall time, so there is no background filler goroutine.
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// newAdmission resolves the config defaults against the pool size.
+func newAdmission(cfg AdmissionConfig, poolSize int) *admission {
+	if cfg.Burst <= 0 {
+		cfg.Burst = 1
+		if cfg.Rate > 1 {
+			cfg.Burst = int(cfg.Rate)
+		}
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 2 * poolSize
+	} else if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		cfg:         cfg,
+		maxInflight: int64(poolSize + maxQueue),
+		tokens:      float64(cfg.Burst),
+		last:        time.Now(),
+	}
+}
+
+// Admit runs both gates; on admitOK the caller owns one inflight slot and
+// must call Done exactly once when the query finishes (any code).
+func (a *admission) Admit() admitVerdict {
+	if a.cfg.Rate > 0 && !a.takeToken() {
+		return admitShedRate
+	}
+	// Optimistic increment with rollback keeps the watermark exact under
+	// concurrent admits without a lock.
+	if a.inflight.Add(1) > a.maxInflight {
+		a.inflight.Add(-1)
+		return admitShedQueue
+	}
+	return admitOK
+}
+
+// Done releases the inflight slot taken by a successful Admit.
+func (a *admission) Done() { a.inflight.Add(-1) }
+
+// Inflight reports the admitted, unfinished query count.
+func (a *admission) Inflight() int64 { return a.inflight.Load() }
+
+// takeToken refills the bucket from elapsed time and takes one token.
+func (a *admission) takeToken() bool {
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if dt := now.Sub(a.last).Seconds(); dt > 0 {
+		a.tokens += dt * a.cfg.Rate
+		if burst := float64(a.cfg.Burst); a.tokens > burst {
+			a.tokens = burst
+		}
+		a.last = now
+	}
+	if a.tokens < 1 {
+		return false
+	}
+	a.tokens--
+	return true
+}

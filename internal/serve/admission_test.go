@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionWatermark(t *testing.T) {
+	// Pool of 2 with MaxQueue -1 (no queue): exactly 2 in flight.
+	a := newAdmission(AdmissionConfig{MaxQueue: -1}, 2)
+	if got := a.Admit(); got != admitOK {
+		t.Fatalf("first Admit = %v, want admitOK", got)
+	}
+	if got := a.Admit(); got != admitOK {
+		t.Fatalf("second Admit = %v, want admitOK", got)
+	}
+	if got := a.Admit(); got != admitShedQueue {
+		t.Fatalf("third Admit = %v, want admitShedQueue", got)
+	}
+	a.Done()
+	if got := a.Admit(); got != admitOK {
+		t.Fatalf("Admit after Done = %v, want admitOK", got)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Errorf("Inflight = %d, want 2", got)
+	}
+}
+
+func TestAdmissionDefaultQueueIsTwicePool(t *testing.T) {
+	a := newAdmission(AdmissionConfig{}, 2)
+	// poolSize + 2*poolSize = 6 slots.
+	for i := 0; i < 6; i++ {
+		if got := a.Admit(); got != admitOK {
+			t.Fatalf("Admit %d = %v, want admitOK", i, got)
+		}
+	}
+	if got := a.Admit(); got != admitShedQueue {
+		t.Fatalf("Admit 7 = %v, want admitShedQueue", got)
+	}
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	// Rate 10/s, burst 2: two immediate admits, then rate-shed until refill.
+	a := newAdmission(AdmissionConfig{Rate: 10, Burst: 2, MaxQueue: 100}, 4)
+	if got := a.Admit(); got != admitOK {
+		t.Fatalf("Admit 1 = %v", got)
+	}
+	if got := a.Admit(); got != admitOK {
+		t.Fatalf("Admit 2 = %v", got)
+	}
+	if got := a.Admit(); got != admitShedRate {
+		t.Fatalf("Admit 3 = %v, want admitShedRate", got)
+	}
+	// ~100ms refills one token at 10/s.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if a.Admit() == admitOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAdmissionBucketCapsAtBurst(t *testing.T) {
+	a := newAdmission(AdmissionConfig{Rate: 1000, Burst: 3, MaxQueue: 100}, 4)
+	time.Sleep(20 * time.Millisecond) // would refill 20 tokens uncapped
+	okCount := 0
+	for i := 0; i < 10; i++ {
+		if a.Admit() == admitOK {
+			okCount++
+		}
+	}
+	// Burst 3 plus at most a few refilled during the loop itself.
+	if okCount < 3 || okCount > 6 {
+		t.Errorf("admitted %d of 10 rapid-fire, want ~burst (3..6)", okCount)
+	}
+}
+
+func TestAdmissionRateZeroDisablesBucket(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxQueue: 100}, 4)
+	for i := 0; i < 50; i++ {
+		if got := a.Admit(); got != admitOK {
+			t.Fatalf("Admit %d = %v with no rate limit", i, got)
+		}
+	}
+}

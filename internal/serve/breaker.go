@@ -1,0 +1,159 @@
+package serve
+
+// breaker.go quarantines (framework, kernel) pairs that keep losing
+// machines. A kernel that ignores cancellation costs the pool a machine per
+// attempt (Lease.Abandon builds a replacement, but the stuck workers burn
+// CPU until the kernel returns — GraphBLAST-style backends under adversarial
+// frontiers can stall this way deterministically, see PAPERS.md). Without a
+// breaker, every arriving query for the bad pair pays the full deadline +
+// grace and costs another machine; with one, the pair fails fast
+// (UNAVAILABLE, microseconds) after Threshold consecutive abandonments,
+// until a probe query proves it healthy again.
+//
+// State machine per pair:
+//
+//	closed ── Threshold consecutive abandonments ──> open
+//	open ── Cooldown elapsed, next query becomes the probe ──> half-open
+//	half-open ── probe succeeds ──> closed (consecutive reset)
+//	half-open ── probe abandoned or fails ──> open (cooldown restarts)
+//
+// While open (and while a probe is in flight), all other queries for the
+// pair are refused without touching the pool.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerConfig tunes the quarantine. The zero value disables it.
+type BreakerConfig struct {
+	// Threshold is the consecutive-abandonment count that opens the
+	// circuit; 0 disables the breaker entirely.
+	Threshold int
+	// Cooldown is how long an open circuit waits before letting one probe
+	// query through. Default 5s.
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) cooldown() time.Duration {
+	if c.Cooldown > 0 {
+		return c.Cooldown
+	}
+	return 5 * time.Second
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen // one probe in flight; everyone else fails fast
+)
+
+// breaker is one (framework, kernel) pair's circuit.
+type breaker struct {
+	mu          sync.Mutex
+	state       int
+	consecutive int       // abandonments since the last success
+	openedAt    time.Time // last transition to open
+}
+
+// breakerSet is the per-pair circuit map.
+type breakerSet struct {
+	cfg   BreakerConfig
+	mu    sync.Mutex
+	pairs map[string]*breaker
+	opens atomic.Int64 // lifetime open transitions, for Stats
+}
+
+func newBreakerSet(cfg BreakerConfig) *breakerSet {
+	return &breakerSet{cfg: cfg, pairs: make(map[string]*breaker)}
+}
+
+func (s *breakerSet) pair(framework, kernelName string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := framework + "|" + kernelName
+	b, ok := s.pairs[key]
+	if !ok {
+		b = &breaker{}
+		s.pairs[key] = b
+	}
+	return b
+}
+
+// Opens reports the lifetime count of open transitions.
+func (s *breakerSet) Opens() int64 { return s.opens.Load() }
+
+// Allow decides whether a query for the pair may proceed. probe is true when
+// the query is the half-open probe — its outcome decides the circuit's fate.
+// With the breaker disabled every query is allowed.
+func (s *breakerSet) Allow(framework, kernelName string) (ok, probe bool) {
+	if s.cfg.Threshold <= 0 {
+		return true, false
+	}
+	b := s.pair(framework, kernelName)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if time.Since(b.openedAt) >= s.cfg.cooldown() {
+			b.state = breakerHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // half-open: a probe is already in flight
+		return false, false
+	}
+}
+
+// OnSuccess records a completed query: the circuit closes and the
+// consecutive-abandonment count resets.
+func (s *breakerSet) OnSuccess(framework, kernelName string) {
+	if s.cfg.Threshold <= 0 {
+		return
+	}
+	b := s.pair(framework, kernelName)
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.mu.Unlock()
+}
+
+// OnAbandon records a machine lost to the pair. It opens the circuit when
+// the consecutive count reaches the threshold — or immediately when the
+// abandoned query was the half-open probe.
+func (s *breakerSet) OnAbandon(framework, kernelName string, probe bool) {
+	if s.cfg.Threshold <= 0 {
+		return
+	}
+	b := s.pair(framework, kernelName)
+	b.mu.Lock()
+	b.consecutive++
+	if probe || b.consecutive >= s.cfg.Threshold {
+		if b.state != breakerOpen {
+			s.opens.Add(1)
+		}
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+	b.mu.Unlock()
+}
+
+// OnFailure records a non-abandonment failure (panic, deadline). It does not
+// count toward the quarantine threshold — those faults cost a retry, not a
+// machine — but a failed probe reopens the circuit.
+func (s *breakerSet) OnFailure(framework, kernelName string, probe bool) {
+	if s.cfg.Threshold <= 0 || !probe {
+		return
+	}
+	b := s.pair(framework, kernelName)
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+	b.mu.Unlock()
+}

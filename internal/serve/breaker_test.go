@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterConsecutiveAbandonments(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: 3, Cooldown: time.Hour})
+	for i := 0; i < 2; i++ {
+		if ok, _ := s.Allow("GAP", "BFS"); !ok {
+			t.Fatalf("closed breaker refused query %d", i)
+		}
+		s.OnAbandon("GAP", "BFS", false)
+	}
+	if ok, _ := s.Allow("GAP", "BFS"); !ok {
+		t.Fatal("breaker open before threshold")
+	}
+	s.OnAbandon("GAP", "BFS", false) // third consecutive: opens
+	if ok, _ := s.Allow("GAP", "BFS"); ok {
+		t.Fatal("breaker still allowing after threshold abandonments")
+	}
+	if got := s.Opens(); got != 1 {
+		t.Errorf("Opens = %d, want 1", got)
+	}
+	// Other pairs are unaffected.
+	if ok, _ := s.Allow("GAP", "CC"); !ok {
+		t.Error("unrelated pair quarantined")
+	}
+	if ok, _ := s.Allow("Galois", "BFS"); !ok {
+		t.Error("unrelated framework quarantined")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: 2, Cooldown: time.Hour})
+	s.OnAbandon("GAP", "BFS", false)
+	s.OnSuccess("GAP", "BFS")
+	s.OnAbandon("GAP", "BFS", false)
+	if ok, _ := s.Allow("GAP", "BFS"); !ok {
+		t.Fatal("non-consecutive abandonments opened the breaker")
+	}
+}
+
+func TestBreakerProbeAndClose(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond})
+	s.OnAbandon("GAP", "BFS", false) // opens
+	if ok, _ := s.Allow("GAP", "BFS"); ok {
+		t.Fatal("open breaker allowed a query inside the cooldown")
+	}
+	time.Sleep(40 * time.Millisecond)
+	ok, probe := s.Allow("GAP", "BFS")
+	if !ok || !probe {
+		t.Fatalf("after cooldown: ok=%v probe=%v, want the probe through", ok, probe)
+	}
+	// While the probe is in flight nobody else gets through.
+	if ok, _ := s.Allow("GAP", "BFS"); ok {
+		t.Fatal("half-open breaker allowed a second query during the probe")
+	}
+	s.OnSuccess("GAP", "BFS") // probe succeeded: closed
+	if ok, probe := s.Allow("GAP", "BFS"); !ok || probe {
+		t.Fatalf("after successful probe: ok=%v probe=%v, want plain allow", ok, probe)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond})
+	s.OnAbandon("GAP", "BFS", false)
+	time.Sleep(40 * time.Millisecond)
+	if ok, probe := s.Allow("GAP", "BFS"); !ok || !probe {
+		t.Fatalf("probe not admitted: ok=%v probe=%v", ok, probe)
+	}
+	s.OnFailure("GAP", "BFS", true) // probe panicked: reopen, cooldown restarts
+	if ok, _ := s.Allow("GAP", "BFS"); ok {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if ok, probe := s.Allow("GAP", "BFS"); !ok || !probe {
+		t.Fatalf("no second probe after the restarted cooldown: ok=%v probe=%v", ok, probe)
+	}
+	s.OnAbandon("GAP", "BFS", true) // abandoned probe also reopens
+	if ok, _ := s.Allow("GAP", "BFS"); ok {
+		t.Fatal("breaker closed after an abandoned probe")
+	}
+}
+
+func TestBreakerNonProbeFailureDoesNotCount(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	for i := 0; i < 5; i++ {
+		s.OnFailure("GAP", "BFS", false) // panics/timeouts without abandonment
+	}
+	if ok, _ := s.Allow("GAP", "BFS"); !ok {
+		t.Fatal("non-abandonment failures opened the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{})
+	for i := 0; i < 10; i++ {
+		s.OnAbandon("GAP", "BFS", false)
+	}
+	if ok, probe := s.Allow("GAP", "BFS"); !ok || probe {
+		t.Fatalf("disabled breaker interfered: ok=%v probe=%v", ok, probe)
+	}
+	if got := s.Opens(); got != 0 {
+		t.Errorf("disabled breaker counted %d opens", got)
+	}
+}

@@ -1,0 +1,30 @@
+package serve
+
+// check.go is the servecheck runtime sanitizer, mirroring grbcheck
+// (internal/grb) and graphguard (internal/graph): the assertion code is
+// always compiled — so gapvet's tag-unaware loader sees one consistent parse
+// — but armed only when the binary is built with -tags=servecheck. Armed, a
+// pool drain that finds outstanding machine leases panics naming the count:
+// a leaked lease is a machine no future query can ever use, the serving-layer
+// analogue of a lost goroutine, and exactly the invariant the static
+// lease-return rule proves per-function. The runtime check closes the loop
+// across functions, retries, and fault paths the static rule cannot see.
+
+import "fmt"
+
+// checkEnabled is armed by the init in check_servecheck.go under
+// -tags=servecheck.
+var checkEnabled = false
+
+// CheckEnabled reports whether the binary was built with the servecheck tag.
+// Tests that need the armed assertion skip themselves when it is false.
+func CheckEnabled() bool { return checkEnabled }
+
+// leaseLeakCheck asserts the outstanding-lease count is zero at drain,
+// panicking under -tags=servecheck. Unarmed it does nothing; the pool then
+// reports the leak as an ordinary drain error.
+func leaseLeakCheck(outstanding int64) {
+	if checkEnabled && outstanding != 0 {
+		panic(fmt.Sprintf("servecheck: %d machine lease(s) still outstanding at drain — every Acquire must reach Release or Abandon", outstanding))
+	}
+}

@@ -1,0 +1,7 @@
+//go:build servecheck
+
+package serve
+
+// Building with -tags=servecheck arms the lease-leak drain assertion; see
+// check.go.
+func init() { checkEnabled = true }

@@ -46,8 +46,14 @@
 #      BFS, PR, CC, BC on every graph for SuiteSparse — so regressions in
 #      the scratch-vector hoists and the BC batched forward sweep show up
 #      next to the direction wins.
+#   9. The serving layer (DESIGN.md §11): a gapd daemon over all five suite
+#      graphs, driven by cmd/workload. Closed-loop cells at 1, 4, and 16
+#      clients record qps and the p50/p99/p999 tails; then an open-loop
+#      Poisson cell offers 80% of the measured 16-client capacity, where
+#      admission control must shed < 1% (the shedrate extra on the
+#      Serve/all/open80 line — a warning prints if it doesn't hold).
 #
-# Output: BENCH_PR9.json — one JSON object per benchmark line, fields
+# Output: BENCH_PR10.json — one JSON object per benchmark line, fields
 # {bench, ns_per_op, extra}, plus the raw `go test -bench` text on stderr so
 # a human watching CI still sees the familiar table.
 
@@ -55,9 +61,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -f "$RAW"; rm -rf "$SERVE_DIR"' EXIT
 
 run_bench() {
 	# $1: -bench regexp. Two separate processes of four trials each rather
@@ -105,6 +112,32 @@ run_bench 'BenchmarkDirection'
 
 printf '\n== frontier/dispatch consumers: SuiteSparse BFS|PR|CC|BC cells\n' >&2
 run_bench 'BenchmarkSuite/Baseline/(BFS|PR|CC|BC)/.*/SuiteSparse$'
+
+printf '\n== serving layer: gapd over five graphs, 1/4/16 clients, 80%%-capacity shed\n' >&2
+go build -o "$SERVE_DIR/gapd" ./cmd/gapd
+go build -o "$SERVE_DIR/workload" ./cmd/workload
+"$SERVE_DIR/gapd" -listen "unix:$SERVE_DIR/gapd.sock" -scale "${GAPBENCH_SCALE:-10}" \
+	-graphdir "$SERVE_DIR/graphs" -pool 4 -workers 4 2>"$SERVE_DIR/gapd.log" &
+GAPD_PID=$!
+for _i in $(seq 1 600); do
+	[ -S "$SERVE_DIR/gapd.sock" ] && break
+	sleep 0.1
+done
+[ -S "$SERVE_DIR/gapd.sock" ] || { echo "gapd never bound its socket:" >&2; cat "$SERVE_DIR/gapd.log" >&2; exit 1; }
+for C in 1 4 16; do
+	"$SERVE_DIR/workload" -addr "unix:$SERVE_DIR/gapd.sock" -clients "$C" -duration 5s \
+		-zipf 1.3 -bench "Serve/all/c$C" | tee -a "$RAW" >&2
+done
+# The 80%-capacity open-loop cell: capacity is the 16-client closed-loop qps.
+CAP=$(awk '/^BenchmarkServe\/all\/c16 /{print $5}' "$RAW" | tail -1)
+RATE80=$(awk -v c="$CAP" 'BEGIN{printf "%.0f", 0.8*c}')
+printf 'measured 16-client capacity %s qps; offering %s qps (80%%)\n' "$CAP" "$RATE80" >&2
+"$SERVE_DIR/workload" -addr "unix:$SERVE_DIR/gapd.sock" -clients 16 -duration 5s \
+	-zipf 1.3 -rate "$RATE80" -bench "Serve/all/open80" | tee -a "$RAW" >&2
+kill -TERM "$GAPD_PID"
+wait "$GAPD_PID"
+SHED=$(awk '/^BenchmarkServe\/all\/open80 /{print $(NF-1)}' "$RAW" | tail -1)
+awk -v s="$SHED" 'BEGIN{ if (s+0 >= 0.01) printf "warning: shed rate %s at 80%% of capacity exceeds the 1%% target\n", s }' >&2
 
 # Fold the benchmark lines into JSON. awk keeps the script dependency-free:
 # each line "BenchmarkX/sub-8  1  12345 ns/op [extra...]" becomes one object.

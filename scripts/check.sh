@@ -37,17 +37,27 @@
 #      the suite, its journal, and its resume path keep working. A second
 #      pass with both chaos and graphguard armed closes the loop: the
 #      CorruptGraph fault must be caught by the seal check as Panicked.
-#  10. graphgen + gapbench graph-store e2e tier: generate the five suite
+#  10. go test -tags='chaos graphguard servecheck' <serve> the serving-layer
+#      fault tier: the gapd daemon machinery (internal/serve) re-run with
+#      the chaos injector, graph seal checks, and the lease-leak assertion
+#      all armed — injected panics/stalls/hangs/corruption against a live
+#      server must shed, retry, quarantine, and drain clean (DESIGN.md §11).
+#  11. graphgen + gapbench graph-store e2e tier: generate the five suite
 #      graphs once as format-v2 .sg files, then run a gapbench smoke over
 #      them via -graphfile, so the whole serialize -> mmap-load -> provenance
 #      -> kernel-verify chain is exercised exactly the way a measurement run
 #      uses it (see DESIGN.md §3 "The storage arena").
-#  11. gapbench -tune twice-through tier: runs the autotuner against a tiny
+#  12. gapbench -tune twice-through tier: runs the autotuner against a tiny
 #      Kron build with a fresh schedule store, then runs it again on the same
 #      store. The first pass must report tuning (writing the store), the
 #      second must report reusing the stored schedule — the persistence
 #      contract `-tune` exists for (see DESIGN.md "Schedule persistence").
-#  12. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
+#  13. gapd serving smoke tier: start the daemon on a unix socket over the
+#      tier-11 graph files (servecheck armed), drive a mixed closed-loop
+#      burst with cmd/workload, and require zero non-OK non-shed responses;
+#      then SIGTERM and require the drain to finish within its budget with
+#      no leaked lease (the servecheck assertion panics the exit otherwise).
+#  14. go test -bench=. -benchtime=1x the benchmark bit-rot guard: every
 #      benchmark (suite cells, ablations, and the ingest-pipeline
 #      Build/Transpose groups — scripts/bench.sh's evidence included)
 #      runs exactly one iteration at the test scale, so a
@@ -106,6 +116,9 @@ go test -tags=chaos -short ./internal/core/ ./internal/chaos/
 say "chaos+graphguard tier (go test -tags='chaos graphguard' -short)"
 go test -tags='chaos graphguard' -short ./internal/core/
 
+say "serving-layer fault tier (go test -tags='chaos graphguard servecheck' -short)"
+go test -tags='chaos graphguard servecheck' -short ./internal/serve/
+
 say "graph-store e2e tier (graphgen once, gapbench mmap smoke)"
 GDIR="$(mktemp -d)"
 TDIR="$(mktemp -d)"
@@ -130,6 +143,36 @@ grep -q 'tune: tuned 0 schedules, reused 1' "$TDIR/second.log" || {
     exit 1
 }
 echo "schedule store persisted and reloaded ok"
+
+say "gapd serving smoke tier (daemon + mixed burst + SIGTERM drain)"
+go build -tags=servecheck -o "$TDIR/gapd" ./cmd/gapd
+go build -o "$TDIR/workload" ./cmd/workload
+"$TDIR/gapd" -listen "unix:$TDIR/gapd.sock" -graphfile "$SGFILES" -pool 2 -workers 2 \
+    2>"$TDIR/gapd.log" &
+GAPD_PID=$!
+for _i in $(seq 1 100); do
+    [ -S "$TDIR/gapd.sock" ] && break
+    sleep 0.1
+done
+[ -S "$TDIR/gapd.sock" ] || { echo "gapd never bound its socket:" >&2; cat "$TDIR/gapd.log" >&2; exit 1; }
+"$TDIR/workload" -addr "unix:$TDIR/gapd.sock" -clients 8 -duration 3s -zipf 1.3 \
+    >"$TDIR/drive.log" 2>&1 || { cat "$TDIR/drive.log" >&2; exit 1; }
+# The gate: every response is either OK or a deliberate shed — a failed
+# query (deadline, panic, bad request) under plain load is a serving bug.
+grep -q 'failed 0)' "$TDIR/drive.log" || {
+    echo "gapd smoke burst produced failed responses:" >&2
+    cat "$TDIR/drive.log" >&2
+    exit 1
+}
+drain_start=$(date +%s)
+kill -TERM "$GAPD_PID"
+wait "$GAPD_PID" || { echo "gapd exited non-zero on SIGTERM drain:" >&2; cat "$TDIR/gapd.log" >&2; exit 1; }
+drain_elapsed=$(( $(date +%s) - drain_start ))
+if [ "$drain_elapsed" -gt 10 ]; then
+    echo "gapd drain took ${drain_elapsed}s, budget is 10s" >&2
+    exit 1
+fi
+echo "gapd smoke ok ($(grep -o 'queries [0-9]*' "$TDIR/drive.log" | head -1), drained in ${drain_elapsed}s)"
 
 say "benchmark bit-rot guard (go test -run='^$' -bench=. -benchtime=1x)"
 go test -run='^$' -bench=. -benchtime=1x .
