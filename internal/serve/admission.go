@@ -84,15 +84,20 @@ func newAdmission(cfg AdmissionConfig, poolSize int) *admission {
 
 // Admit runs both gates; on admitOK the caller owns one inflight slot and
 // must call Done exactly once when the query finishes (any code).
+//
+// The watermark gate runs first: a queue-shed query must not consume a rate
+// token, or sustained queue shedding would depress the admitted rate below
+// the configured Rate. The optimistic increment with rollback keeps the
+// watermark exact under concurrent admits without a lock; a rate-shed rolls
+// the slot back too.
 func (a *admission) Admit() admitVerdict {
-	if a.cfg.Rate > 0 && !a.takeToken() {
-		return admitShedRate
-	}
-	// Optimistic increment with rollback keeps the watermark exact under
-	// concurrent admits without a lock.
 	if a.inflight.Add(1) > a.maxInflight {
 		a.inflight.Add(-1)
 		return admitShedQueue
+	}
+	if a.cfg.Rate > 0 && !a.takeToken() {
+		a.inflight.Add(-1)
+		return admitShedRate
 	}
 	return admitOK
 }

@@ -79,6 +79,30 @@ func TestAdmissionBucketCapsAtBurst(t *testing.T) {
 	}
 }
 
+func TestAdmissionQueueShedDoesNotBurnRateToken(t *testing.T) {
+	// Watermark 1 (pool 1, no queue), burst 3, negligible refill. The single
+	// slot fills, then sustained queue shedding must not drain the token
+	// bucket — otherwise the effective admitted rate drops below Rate.
+	a := newAdmission(AdmissionConfig{Rate: 0.001, Burst: 3, MaxQueue: -1}, 1)
+	if got := a.Admit(); got != admitOK {
+		t.Fatalf("Admit 1 = %v, want admitOK", got)
+	}
+	for i := 0; i < 5; i++ {
+		if got := a.Admit(); got != admitShedQueue {
+			t.Fatalf("Admit at full watermark = %v, want admitShedQueue", got)
+		}
+	}
+	// Two of the three burst tokens must remain: the queue sheds were free.
+	a.Done()
+	if got := a.Admit(); got != admitOK {
+		t.Fatalf("Admit after Done = %v, want admitOK (queue sheds burned rate tokens)", got)
+	}
+	a.Done()
+	if got := a.Admit(); got != admitOK {
+		t.Fatalf("third token gone = %v, want admitOK", got)
+	}
+}
+
 func TestAdmissionRateZeroDisablesBucket(t *testing.T) {
 	a := newAdmission(AdmissionConfig{MaxQueue: 100}, 4)
 	for i := 0; i < 50; i++ {

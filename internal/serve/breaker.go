@@ -16,6 +16,11 @@ package serve
 //	open ── Cooldown elapsed, next query becomes the probe ──> half-open
 //	half-open ── probe succeeds ──> closed (consecutive reset)
 //	half-open ── probe abandoned or fails ──> open (cooldown restarts)
+//	half-open ── probe dropped before running (shed, lease failure) ──> open
+//
+// Every path out of Allow's probe=true must report one of OnSuccess,
+// OnFailure, OnAbandon, or ResetProbe — a probe that exits without reporting
+// would wedge the circuit half-open (refusing everything) forever.
 //
 // While open (and while a probe is in flight), all other queries for the
 // pair are refused without touching the pool.
@@ -109,16 +114,41 @@ func (s *breakerSet) Allow(framework, kernelName string) (ok, probe bool) {
 	}
 }
 
-// OnSuccess records a completed query: the circuit closes and the
-// consecutive-abandonment count resets.
-func (s *breakerSet) OnSuccess(framework, kernelName string) {
+// OnSuccess records a completed query. Only the half-open probe's success
+// closes the circuit — a slow non-probe query admitted before the circuit
+// opened must not short-circuit the cooldown/probe protocol when it finally
+// completes. A success in the closed state resets the consecutive count.
+func (s *breakerSet) OnSuccess(framework, kernelName string, probe bool) {
 	if s.cfg.Threshold <= 0 {
 		return
 	}
 	b := s.pair(framework, kernelName)
 	b.mu.Lock()
-	b.state = breakerClosed
-	b.consecutive = 0
+	switch {
+	case probe && b.state == breakerHalfOpen:
+		b.state = breakerClosed
+		b.consecutive = 0
+	case b.state == breakerClosed:
+		b.consecutive = 0
+	}
+	b.mu.Unlock()
+}
+
+// ResetProbe returns a half-open circuit to open after its probe was dropped
+// before the kernel ran (admission shed, pool draining, lease failure). The
+// probe proved nothing about the pair's health, so the cooldown restarts and
+// a later query gets to be the probe — without this, a dropped probe would
+// leave the circuit half-open refusing every query until process restart.
+func (s *breakerSet) ResetProbe(framework, kernelName string) {
+	if s.cfg.Threshold <= 0 {
+		return
+	}
+	b := s.pair(framework, kernelName)
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
 	b.mu.Unlock()
 }
 

@@ -35,7 +35,7 @@ func TestBreakerOpensAfterConsecutiveAbandonments(t *testing.T) {
 func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
 	s := newBreakerSet(BreakerConfig{Threshold: 2, Cooldown: time.Hour})
 	s.OnAbandon("GAP", "BFS", false)
-	s.OnSuccess("GAP", "BFS")
+	s.OnSuccess("GAP", "BFS", false)
 	s.OnAbandon("GAP", "BFS", false)
 	if ok, _ := s.Allow("GAP", "BFS"); !ok {
 		t.Fatal("non-consecutive abandonments opened the breaker")
@@ -57,7 +57,7 @@ func TestBreakerProbeAndClose(t *testing.T) {
 	if ok, _ := s.Allow("GAP", "BFS"); ok {
 		t.Fatal("half-open breaker allowed a second query during the probe")
 	}
-	s.OnSuccess("GAP", "BFS") // probe succeeded: closed
+	s.OnSuccess("GAP", "BFS", true) // probe succeeded: closed
 	if ok, probe := s.Allow("GAP", "BFS"); !ok || probe {
 		t.Fatalf("after successful probe: ok=%v probe=%v, want plain allow", ok, probe)
 	}
@@ -81,6 +81,62 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	s.OnAbandon("GAP", "BFS", true) // abandoned probe also reopens
 	if ok, _ := s.Allow("GAP", "BFS"); ok {
 		t.Fatal("breaker closed after an abandoned probe")
+	}
+}
+
+func TestBreakerDroppedProbeResetsToOpen(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond})
+	s.OnAbandon("GAP", "BFS", false) // opens
+	time.Sleep(40 * time.Millisecond)
+	if ok, probe := s.Allow("GAP", "BFS"); !ok || !probe {
+		t.Fatalf("probe not admitted: ok=%v probe=%v", ok, probe)
+	}
+	// The probe is shed before running (admission, drain, lease failure):
+	// ResetProbe must return the circuit to open — not leave it wedged
+	// half-open refusing everything forever.
+	s.ResetProbe("GAP", "BFS")
+	if ok, _ := s.Allow("GAP", "BFS"); ok {
+		t.Fatal("circuit closed by a probe that never ran")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if ok, probe := s.Allow("GAP", "BFS"); !ok || !probe {
+		t.Fatalf("no new probe after the restarted cooldown: ok=%v probe=%v", ok, probe)
+	}
+	// ResetProbe on a non-half-open circuit is a no-op: the in-flight probe
+	// still decides it.
+	s.ResetProbe("GAP", "CC")
+	if ok, _ := s.Allow("GAP", "CC"); !ok {
+		t.Fatal("ResetProbe disturbed a closed circuit")
+	}
+}
+
+func TestBreakerNonProbeSuccessDoesNotClose(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	s.OnAbandon("GAP", "BFS", false) // opens
+	// A slow query admitted before the circuit opened completes now: it must
+	// not close the circuit and bypass the cooldown/probe protocol.
+	s.OnSuccess("GAP", "BFS", false)
+	if ok, _ := s.Allow("GAP", "BFS"); ok {
+		t.Fatal("non-probe success closed an open circuit")
+	}
+}
+
+func TestBreakerNonProbeSuccessDoesNotCloseHalfOpen(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond})
+	s.OnAbandon("GAP", "BFS", false)
+	time.Sleep(40 * time.Millisecond)
+	if ok, probe := s.Allow("GAP", "BFS"); !ok || !probe {
+		t.Fatalf("probe not admitted: ok=%v probe=%v", ok, probe)
+	}
+	// While the probe is in flight, a concurrent pre-open query completing
+	// must not close the circuit on the probe's behalf.
+	s.OnSuccess("GAP", "BFS", false)
+	if ok, _ := s.Allow("GAP", "BFS"); ok {
+		t.Fatal("non-probe success closed a half-open circuit")
+	}
+	s.OnSuccess("GAP", "BFS", true) // the probe itself closes it
+	if ok, probe := s.Allow("GAP", "BFS"); !ok || probe {
+		t.Fatalf("after successful probe: ok=%v probe=%v, want plain allow", ok, probe)
 	}
 }
 

@@ -145,15 +145,20 @@ func (s *Server) query(req Request, connTok *par.CancelToken) Response {
 			Kernel: string(p.k), Graph: p.in.Spec.Name, Framework: p.fwName,
 			Micros: time.Since(start).Microseconds()}
 	}
-	switch s.adm.Admit() {
-	case admitShedRate:
-		s.c.shedRate.Add(1)
-		return Response{ID: req.ID, Code: CodeResourceExhausted, Error: "admission rate exceeded",
-			Kernel: string(p.k), Graph: p.in.Spec.Name, Framework: p.fwName,
-			Micros: time.Since(start).Microseconds()}
-	case admitShedQueue:
-		s.c.shedQueue.Add(1)
-		return Response{ID: req.ID, Code: CodeResourceExhausted, Error: "queue depth watermark reached",
+	if verdict := s.adm.Admit(); verdict != admitOK {
+		// A shed probe must not leave the circuit wedged half-open: reset it
+		// to open so the cooldown restarts and a later query re-probes.
+		if probe {
+			s.breakers.ResetProbe(p.fwName, string(p.k))
+		}
+		msg := "admission rate exceeded"
+		if verdict == admitShedQueue {
+			s.c.shedQueue.Add(1)
+			msg = "queue depth watermark reached"
+		} else {
+			s.c.shedRate.Add(1)
+		}
+		return Response{ID: req.ID, Code: CodeResourceExhausted, Error: msg,
 			Kernel: string(p.k), Graph: p.in.Spec.Name, Framework: p.fwName,
 			Micros: time.Since(start).Microseconds()}
 	}
@@ -200,7 +205,12 @@ func (s *Server) execute(p *queryPlan, connTok *par.CancelToken, probe bool) Res
 		var err error
 		out, abandoned, err = s.attempt(p, qTok, deadline)
 		if err != nil {
-			// Lease acquisition failed — nothing ran, nothing to retry.
+			// Lease acquisition failed — nothing ran, nothing to retry. A
+			// probe that never ran proved nothing: reset its circuit to open
+			// (cooldown restarts) instead of leaving it wedged half-open.
+			if probe {
+				s.breakers.ResetProbe(p.fwName, string(p.k))
+			}
 			s.journalQuery(p, records, core.TimedOut, retries, err.Error())
 			if err == ErrPoolDraining {
 				s.c.drainShed.Add(1)
@@ -220,7 +230,7 @@ func (s *Server) execute(p *queryPlan, connTok *par.CancelToken, probe bool) Res
 			s.breakers.OnAbandon(p.fwName, string(p.k), probe)
 		}
 		if out.status == core.OK {
-			s.breakers.OnSuccess(p.fwName, string(p.k))
+			s.breakers.OnSuccess(p.fwName, string(p.k), probe)
 			break
 		}
 		if !abandoned {
@@ -382,8 +392,11 @@ func runKernel(p *queryPlan, g *graph.Graph, opt kernel.Options) *QueryResult {
 				res.Reached++
 			}
 		}
-		if p.target >= 0 && p.target < graph.NodeID(len(dist)) && dist[p.target] != kernel.Inf {
-			d := int64(dist[p.target])
+		if p.target >= 0 && p.target < graph.NodeID(len(dist)) {
+			d := int64(-1) // the documented "unreachable" sentinel
+			if dist[p.target] != kernel.Inf {
+				d = int64(dist[p.target])
+			}
 			res.Dist = &d
 		}
 		return res

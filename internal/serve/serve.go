@@ -23,12 +23,14 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gapbench/internal/core"
@@ -185,13 +187,26 @@ func (s *Server) logf(format string, args ...any) {
 func (s *Server) Pool() *Pool { return s.pool }
 
 // Listen opens the daemon's listener for an address of the form
-// "unix:/path/to.sock" (a stale socket file is removed first) or a TCP
-// address ("tcp:host:port" or plain "host:port").
+// "unix:/path/to.sock" (a stale socket file — one nobody is accepting on —
+// is removed first; a live one is an error, not stolen) or a TCP address
+// ("tcp:host:port" or plain "host:port").
 func Listen(addr string) (net.Listener, error) {
 	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
-		if _, err := os.Stat(path); err == nil {
-			// A previous daemon's socket file; Listen would fail with EADDRINUSE
-			// even though nobody is accepting. Remove and rebind.
+		if fi, err := os.Stat(path); err == nil {
+			// The path exists. A crashed daemon leaves its socket file behind
+			// (bind would fail EADDRINUSE even though nobody is accepting),
+			// but unlinking unconditionally would let a second gapd silently
+			// steal a live daemon's address — so prove staleness first: it
+			// must be a socket, and connecting must be refused.
+			if fi.Mode()&os.ModeSocket == 0 {
+				return nil, fmt.Errorf("serve: %s exists and is not a socket; refusing to remove it", path)
+			}
+			if c, derr := net.DialTimeout("unix", path, 250*time.Millisecond); derr == nil {
+				c.Close()
+				return nil, fmt.Errorf("serve: a daemon is already listening on %s", path)
+			} else if !errors.Is(derr, syscall.ECONNREFUSED) {
+				return nil, fmt.Errorf("serve: probing existing socket %s: %v; refusing to remove it", path, derr)
+			}
 			if err := os.Remove(path); err != nil {
 				return nil, fmt.Errorf("serve: removing stale socket %s: %w", path, err)
 			}

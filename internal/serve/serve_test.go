@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
@@ -575,5 +576,59 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached within 2s")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// ---- Listen socket handling ------------------------------------------------
+
+func TestListenRefusesLiveSocket(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "gapd.sock")
+	l, err := Listen("unix:" + sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A second daemon against the same path must be refused, not silently
+	// steal the live daemon's address by unlinking its socket.
+	if _, err := Listen("unix:" + sock); err == nil {
+		t.Fatal("second Listen bound over a live daemon's socket")
+	}
+	if _, err := os.Stat(sock); err != nil {
+		t.Fatalf("live socket file was removed: %v", err)
+	}
+	// The first daemon still works.
+	c, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatalf("live daemon unreachable after refused rebind: %v", err)
+	}
+	c.Close()
+}
+
+func TestListenReplacesStaleSocket(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "gapd.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed daemon: stop accepting but leave the socket file.
+	l.(*net.UnixListener).SetUnlinkOnClose(false)
+	l.Close()
+	l2, err := Listen("unix:" + sock)
+	if err != nil {
+		t.Fatalf("Listen over a stale socket: %v", err)
+	}
+	l2.Close()
+}
+
+func TestListenRefusesNonSocketFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gapd.sock")
+	if err := os.WriteFile(path, []byte("not a socket"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen("unix:" + path); err == nil {
+		t.Fatal("Listen bound over a regular file")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("regular file was deleted: %v", err)
 	}
 }
